@@ -1,0 +1,176 @@
+package papi
+
+// One benchmark per figure of the paper's evaluation (there are no numbered
+// tables; Figs. 1 and 5 are diagrams). Each benchmark regenerates its figure
+// and reports the figure's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Paper-vs-measured values are recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/experiments"
+)
+
+func BenchmarkFig02Roofline(b *testing.B) {
+	var r experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2()
+	}
+	b.ReportMetric(r.RidgeAI, "ridge-FLOP/B")
+}
+
+func BenchmarkFig03RLPDecay(b *testing.B) {
+	var r experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3(64)
+	}
+	b.ReportMetric(float64(r.IterationsPerRequest[0]), "longest-request-iters")
+}
+
+func BenchmarkFig04FCLatency(b *testing.B) {
+	var r experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig4()
+	}
+	b.ReportMetric(float64(r.CrossoverBatch), "a100-overtakes-attacc-batch")
+}
+
+func BenchmarkFig06AIEstimate(b *testing.B) {
+	var r experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6()
+	}
+	b.ReportMetric(100*r.MaxRelError, "max-rel-err-%")
+}
+
+func BenchmarkFig07Energy(b *testing.B) {
+	var r experiments.Fig7EnergyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7Energy()
+	}
+	b.ReportMetric(100*r.NoReuse[0], "dram-share-noreuse-%")
+	b.ReportMetric(100*r.Reuse64[0], "dram-share-reuse64-%")
+}
+
+func BenchmarkFig07Power(b *testing.B) {
+	var r experiments.Fig7PowerResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7Power()
+	}
+	b.ReportMetric(r.MinReuse4P1B, "4P1B-min-reuse")
+	b.ReportMetric(r.Rows[0].FourP1B, "4P1B-noreuse-W")
+}
+
+func BenchmarkFig08EndToEnd(b *testing.B) {
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8()
+	}
+	b.ReportMetric(r.PAPIvsA100AttAcc, "papi-vs-a100attacc-x")
+	b.ReportMetric(r.PAPIvsHBMPIM, "papi-vs-hbmpim-x")
+	b.ReportMetric(r.PAPIvsAttAccOnly, "papi-vs-attacconly-x")
+	b.ReportMetric(r.PAPIEnergyVsBase, "papi-energy-eff-x")
+}
+
+func BenchmarkFig09GeneralQA(b *testing.B) {
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9()
+	}
+	b.ReportMetric(r.PAPIvsA100AttAcc, "papi-vs-a100attacc-x")
+	b.ReportMetric(r.PAPIvsAttAccOnly, "papi-vs-attacconly-x")
+	b.ReportMetric(r.PAPIEnergyVsBase, "papi-energy-eff-x")
+}
+
+func BenchmarkFig10Sensitivity(b *testing.B) {
+	var r experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10()
+	}
+	b.ReportMetric(r.SpecAvgVsBase, "tlp-avg-vs-base-x")
+	b.ReportMetric(r.SpecAvgVsAttAcc, "tlp-avg-vs-attacconly-x")
+}
+
+func BenchmarkFig11PIMOnly(b *testing.B) {
+	var r experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11()
+	}
+	b.ReportMetric(r.Average, "avg-speedup-x")
+	b.ReportMetric(r.Lowest, "b4s1-x")
+	b.ReportMetric(r.Highest, "b64s4-x")
+}
+
+func BenchmarkFig12Breakdown(b *testing.B) {
+	var r experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12()
+	}
+	b.ReportMetric(r.FCSpeedup, "fc-speedup-x")
+	b.ReportMetric(r.AttentionSlowdown, "attn-slowdown-x")
+	b.ReportMetric(100*r.PAPICommShare, "comm-share-%")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	var r experiments.AlphaSweepResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationAlpha()
+	}
+	b.ReportMetric(r.BestAlpha, "best-alpha")
+	b.ReportMetric(r.Calibrated, "calibrated-alpha")
+}
+
+func BenchmarkAblationHybridPIM(b *testing.B) {
+	var r experiments.HybridPIMResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationHybridPIM()
+	}
+	b.ReportMetric(r.Average, "hybrid-speedup-x")
+}
+
+func BenchmarkAblationDynamicVsStatic(b *testing.B) {
+	var r experiments.DynamicVsStaticResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationDynamicVsStatic()
+	}
+	b.ReportMetric(r.StaticPUMS/r.DynamicMS, "vs-always-pu-x")
+	b.ReportMetric(r.StaticPIMMS/r.DynamicMS, "vs-always-pim-x")
+}
+
+func BenchmarkAblationBatching(b *testing.B) {
+	var r experiments.BatchingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationBatching()
+	}
+	b.ReportMetric(r.Speedup, "continuous-speedup-x")
+}
+
+func BenchmarkAblationSchedulingCost(b *testing.B) {
+	var r experiments.SchedulingCostResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSchedulingCost()
+	}
+	b.ReportMetric(r.SlowdownAt50ms, "slowdown-at-50ms-x")
+}
+
+// Microbenchmarks of the substrates themselves.
+
+func BenchmarkServingIteration(b *testing.B) {
+	eng, err := NewEngine(NewPAPI(), LLaMA65B(), DefaultOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := CreativeWriting().Generate(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunBatch(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command papibench regenerates every figure of the paper's evaluation
+// section and prints the tables EXPERIMENTS.md records.
+//
+//	papibench            # all figures and ablations
+//	papibench -figure 8  # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/papi-sim/papi/internal/experiments"
+)
+
+type figure struct {
+	id  string
+	run func() fmt.Stringer
+}
+
+func figures() []figure {
+	return []figure{
+		{"2", func() fmt.Stringer { return experiments.Fig2() }},
+		{"3", func() fmt.Stringer { return experiments.Fig3(64) }},
+		{"4", func() fmt.Stringer { return experiments.Fig4() }},
+		{"6", func() fmt.Stringer { return experiments.Fig6() }},
+		{"7e", func() fmt.Stringer { return experiments.Fig7Energy() }},
+		{"7p", func() fmt.Stringer { return experiments.Fig7Power() }},
+		{"8", func() fmt.Stringer { return experiments.Fig8() }},
+		{"9", func() fmt.Stringer { return experiments.Fig9() }},
+		{"10", func() fmt.Stringer { return experiments.Fig10() }},
+		{"11", func() fmt.Stringer { return experiments.Fig11() }},
+		{"12", func() fmt.Stringer { return experiments.Fig12() }},
+		{"ablation-alpha", func() fmt.Stringer { return experiments.AblationAlpha() }},
+		{"ablation-hybrid", func() fmt.Stringer { return experiments.AblationHybridPIM() }},
+		{"ablation-sched", func() fmt.Stringer { return experiments.AblationDynamicVsStatic() }},
+		{"ablation-batching", func() fmt.Stringer { return experiments.AblationBatching() }},
+		{"ablation-schedcost", func() fmt.Stringer { return experiments.AblationSchedulingCost() }},
+	}
+}
+
+func main() {
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*)")
+	flag.Parse()
+
+	ran := false
+	for _, f := range figures() {
+		if *which != "" && f.id != *which {
+			continue
+		}
+		ran = true
+		fmt.Printf("================ figure %s ================\n", f.id)
+		fmt.Println(f.run().String())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "papibench: unknown figure %q\n", *which)
+		os.Exit(1)
+	}
+}

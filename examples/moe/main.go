@@ -1,0 +1,52 @@
+// Mixture-of-Experts on FC-PIM: the §6.5 extension. Expert sparsity lowers
+// the FC kernel's effective data reuse — each expert's weights serve only the
+// tokens routed to it — so MoE FC stays memory-bound (and FC-PIM-favourable)
+// at batch sizes where dense FC has long turned compute-bound on the GPU.
+//
+// The example compares a Mixtral-8x7B-class MoE against its dense-equivalent
+// (same active FLOPs per token) across batch sizes, showing the crossover
+// point moving right for the MoE.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	sys := papi.NewPAPI()
+	moe := papi.Mixtral8x7BLike()
+	dense := moe.DenseEquivalent()
+
+	fmt.Printf("%s: %d experts, top-%d, %.0fB parameters total\n",
+		moe.Base.Name, moe.Experts, moe.TopK, float64(moe.Params())/1e9)
+	fmt.Printf("dense equivalent: same active compute per token\n\n")
+
+	fmt.Println("batch | active experts | MoE: PUs vs FC-PIM       | dense: PUs vs FC-PIM")
+	fmt.Println("------+----------------+--------------------------+---------------------")
+	for _, n := range []int{1, 4, 8, 16, 32, 64, 128} {
+		mk := moe.FCIterationKernel(n)
+		dk := dense.FCIterationKernel(n)
+		mpu, mpim, err := papi.CompareFCPlacement(sys, mk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dpu, dpim, err := papi.CompareFCPlacement(sys, dk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pick := func(pu, pim papi.Seconds) string {
+			if pim <= pu {
+				return fmt.Sprintf("FC-PIM wins (%v vs %v)", pim, pu)
+			}
+			return fmt.Sprintf("PUs win    (%v vs %v)", pu, pim)
+		}
+		fmt.Printf("%5d | %14.1f | %-24s | %s\n",
+			n, moe.ActiveExperts(n), pick(mpu, mpim), pick(dpu, dpim))
+	}
+
+	fmt.Println("\nexpert weight slices live in-bank on FC-PIM; the lower reuse of MoE FC")
+	fmt.Println("keeps it on the PIM side of the α threshold across a wider batch range (§6.5)")
+}

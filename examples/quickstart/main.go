@@ -1,0 +1,36 @@
+// Quickstart: build the PAPI system, decode one batch of LLaMA-65B requests
+// with speculative decoding, and print latency, energy and the scheduler's
+// activity — the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	sys := papi.NewPAPI()
+	eng, err := papi.NewEngine(sys, papi.LLaMA65B(), papi.DefaultOptions(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	batch := papi.CreativeWriting().Generate(16, 1)
+	res, err := eng.RunBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system: %s, model: %s\n", res.System, res.Model)
+	fmt.Printf("generated %d tokens in %v (%v per token)\n",
+		res.Tokens, res.TotalTime(), res.TimePerToken())
+	fmt.Printf("prefill %v, decode %v over %d iterations\n",
+		res.PrefillTime, res.DecodeTime, res.Iterations)
+	fmt.Printf("decode breakdown: FC %v, attention %v, communication %v, other %v\n",
+		res.Breakdown.FC, res.Breakdown.Attention, res.Breakdown.Communication, res.Breakdown.Other)
+	fmt.Printf("energy: %v\n", res.Energy.Total())
+	fmt.Printf("the scheduler moved FC between the PUs and FC-PIM %d times as RLP decayed\n",
+		res.Reschedules)
+}

@@ -1,0 +1,41 @@
+// Roofline characterisation: the Fig. 2 / §5.2.1 workflow as a user would
+// run it. For a chosen model the example sweeps parallelisation levels,
+// compares the FC kernel's time on the GPU PUs against the FC-PIM devices
+// (papi.CompareFCPlacement), and shows where the crossover — the α threshold
+// the scheduler calibrates offline — falls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	sys := papi.NewPAPI()
+	cfg := papi.GPT3_175B()
+
+	fmt.Printf("FC kernel of one %s decoding iteration: GPU PUs vs FC-PIM\n\n", cfg.Name)
+	fmt.Println("RLP×TLP | PUs        | FC-PIM     | winner")
+	fmt.Println("--------+------------+------------+--------")
+	crossover := 0
+	for _, p := range []int{1, 2, 4, 8, 16, 24, 28, 32, 48, 64, 128, 256} {
+		k := cfg.FCIterationKernel(p)
+		pu, fcpim, err := papi.CompareFCPlacement(sys, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "FC-PIM"
+		if pu < fcpim {
+			winner = "PUs"
+			if crossover == 0 {
+				crossover = p
+			}
+		}
+		fmt.Printf("%7d | %-10v | %-10v | %s\n", p, pu, fcpim, winner)
+	}
+	fmt.Printf("\nPUs overtake FC-PIM near RLP×TLP = %d; the scheduler's calibrated α is %d\n",
+		crossover, papi.DefaultAlpha)
+	fmt.Println("below α the FC kernel is memory-bound on the GPU and PAPI offloads it to FC-PIM")
+}

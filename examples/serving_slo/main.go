@@ -1,0 +1,51 @@
+// Serving under an SLO: the §3.2(a) scenario. An online service receives a
+// Poisson stream of general-qa requests and must keep per-token latency
+// under a service-level objective. The example sweeps the admission cap
+// (initial RLP) under mixed continuous batching and reports, per cap, the
+// makespan and per-token latency — showing the throughput/latency trade-off
+// that makes the feasible batch size workload-dependent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	sys := papi.NewPAPI()
+	cfg := papi.GPT3_66B()
+	stream := papi.GeneralQA().Poisson(96, 25, 11)
+
+	// A request receives one token per decoding iteration, so its per-token
+	// latency is the iteration time — that is what the SLO bounds.
+	slo := papi.Seconds(0.012) // 12 ms per output token
+
+	fmt.Println("max batch | makespan  | token latency | meets 12ms SLO")
+	fmt.Println("----------+-----------+---------------+---------------")
+	best := 0
+	for _, cap := range []int{2, 4, 8, 16, 32, 64} {
+		eng, err := papi.NewEngine(sys, cfg, papi.DefaultOptions(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.RunContinuous(stream, cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tokenLatency := res.DecodeTime / papi.Seconds(res.Iterations)
+		ok := tokenLatency <= slo
+		if ok && cap > best {
+			best = cap
+		}
+		fmt.Printf("%9d | %9v | %13v | %v\n", cap, res.TotalTime(), tokenLatency, ok)
+	}
+	if best > 0 {
+		fmt.Printf("\nlargest admission cap meeting the SLO: %d\n", best)
+	} else {
+		fmt.Println("\nno admission cap met the SLO")
+	}
+	fmt.Println("(§3.2: higher RLP raises throughput but also per-request token latency;")
+	fmt.Println(" the SLO caps the feasible initial RLP — one of the sources of dynamic parallelism)")
+}

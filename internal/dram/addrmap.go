@@ -1,0 +1,122 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// AddressMapping selects how a linear physical address decomposes into
+// channel-local coordinates. The choice decides whether sequential traffic
+// stays in one row (row-interleaved, maximising row hits) or spreads across
+// bank groups (bank-interleaved, maximising bank-level parallelism) — the
+// standard Ramulator-style mapping knob.
+type AddressMapping int
+
+// Supported mappings (most-significant field first).
+const (
+	// MapRowBankCol is row : bankgroup : bank : column — sequential
+	// addresses sweep a whole row before switching banks (open-page
+	// friendly; the layout PIM weight streaming uses).
+	MapRowBankCol AddressMapping = iota
+	// MapRowColBank is row : column : bankgroup : bank — consecutive
+	// column-sized blocks hit different banks (bank-interleaved; what a
+	// cache-line-granular host controller prefers).
+	MapRowColBank
+)
+
+// String names the mapping.
+func (m AddressMapping) String() string {
+	switch m {
+	case MapRowBankCol:
+		return "row:bank:col"
+	case MapRowColBank:
+		return "row:col:bank"
+	}
+	return fmt.Sprintf("AddressMapping(%d)", int(m))
+}
+
+// DecodeAddress splits a channel-local byte address into coordinates under
+// the mapping. The address must be column-aligned and within the channel.
+func (g Geometry) DecodeAddress(byteAddr int64, m AddressMapping) (Address, error) {
+	col := int64(g.ColBytes)
+	if byteAddr < 0 || byteAddr >= int64(g.Capacity()) {
+		return Address{}, fmt.Errorf("dram: address %d outside channel capacity %v", byteAddr, g.Capacity())
+	}
+	if byteAddr%col != 0 {
+		return Address{}, fmt.Errorf("dram: address %d not aligned to %v columns", byteAddr, g.ColBytes)
+	}
+	blk := byteAddr / col // column-granule index
+	cols := int64(g.ColsPerRow())
+	banks := int64(g.BanksPerGroup)
+	groups := int64(g.BankGroups)
+
+	var a Address
+	switch m {
+	case MapRowBankCol:
+		a.Col = int(blk % cols)
+		blk /= cols
+		a.Bank = int(blk % banks)
+		blk /= banks
+		a.BankGroup = int(blk % groups)
+		blk /= groups
+		a.Row = int(blk)
+	case MapRowColBank:
+		a.Bank = int(blk % banks)
+		blk /= banks
+		a.BankGroup = int(blk % groups)
+		blk /= groups
+		a.Col = int(blk % cols)
+		blk /= cols
+		a.Row = int(blk)
+	default:
+		return Address{}, fmt.Errorf("dram: unknown mapping %v", m)
+	}
+	return a, nil
+}
+
+// EncodeAddress is the inverse of DecodeAddress.
+func (g Geometry) EncodeAddress(a Address, m AddressMapping) (int64, error) {
+	if a.BankGroup < 0 || a.BankGroup >= g.BankGroups ||
+		a.Bank < 0 || a.Bank >= g.BanksPerGroup ||
+		a.Row < 0 || a.Row >= g.Rows ||
+		a.Col < 0 || a.Col >= g.ColsPerRow() {
+		return 0, fmt.Errorf("dram: address %+v out of range", a)
+	}
+	cols := int64(g.ColsPerRow())
+	banks := int64(g.BanksPerGroup)
+	groups := int64(g.BankGroups)
+
+	var blk int64
+	switch m {
+	case MapRowBankCol:
+		blk = ((int64(a.Row)*groups+int64(a.BankGroup))*banks+int64(a.Bank))*cols + int64(a.Col)
+	case MapRowColBank:
+		blk = ((int64(a.Row)*cols+int64(a.Col))*groups+int64(a.BankGroup))*banks + int64(a.Bank)
+	default:
+		return 0, fmt.Errorf("dram: unknown mapping %v", m)
+	}
+	return blk * int64(g.ColBytes), nil
+}
+
+// LinearStream submits reads covering [start, start+bytes) under the mapping,
+// rounding the range out to column granules. It returns the submitted
+// request count. Used to replay address-trace workloads through the
+// controller (cmd/dramsim's trace mode).
+func (c *Controller) LinearStream(start, bytes int64, m AddressMapping, write bool) (int, error) {
+	if bytes <= 0 {
+		return 0, fmt.Errorf("dram: stream length %d must be positive", bytes)
+	}
+	col := int64(c.Geom.ColBytes)
+	first := start - start%col
+	n := 0
+	for addr := first; addr < start+bytes; addr += col {
+		a, err := c.Geom.DecodeAddress(addr, m)
+		if err != nil {
+			return n, err
+		}
+		if err := c.Submit(&Request{Addr: a, Write: write}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

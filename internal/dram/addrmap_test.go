@@ -1,0 +1,140 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/sim"
+)
+
+func TestAddressRoundTrip(t *testing.T) {
+	g := PIMChannelGeometry()
+	for _, m := range []AddressMapping{MapRowBankCol, MapRowColBank} {
+		a := Address{BankGroup: 2, Bank: 3, Row: 117, Col: 9}
+		raw, err := g.EncodeAddress(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := g.DecodeAddress(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != a {
+			t.Fatalf("%v: round trip %+v → %d → %+v", m, a, raw, back)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	g := PIMChannelGeometry()
+	if _, err := g.DecodeAddress(-16, MapRowBankCol); err == nil {
+		t.Error("negative address should fail")
+	}
+	if _, err := g.DecodeAddress(int64(g.Capacity()), MapRowBankCol); err == nil {
+		t.Error("address at capacity should fail")
+	}
+	if _, err := g.DecodeAddress(7, MapRowBankCol); err == nil {
+		t.Error("unaligned address should fail")
+	}
+	if _, err := g.DecodeAddress(0, AddressMapping(9)); err == nil {
+		t.Error("unknown mapping should fail")
+	}
+	if _, err := g.EncodeAddress(Address{Row: -1}, MapRowBankCol); err == nil {
+		t.Error("out-of-range encode should fail")
+	}
+	if _, err := g.EncodeAddress(Address{}, AddressMapping(9)); err == nil {
+		t.Error("unknown mapping encode should fail")
+	}
+}
+
+func TestMappingNames(t *testing.T) {
+	if MapRowBankCol.String() != "row:bank:col" || MapRowColBank.String() != "row:col:bank" {
+		t.Fatal("mapping names wrong")
+	}
+	if AddressMapping(9).String() != "AddressMapping(9)" {
+		t.Fatal("unknown mapping name wrong")
+	}
+}
+
+func TestSequentialInterleaving(t *testing.T) {
+	g := PIMChannelGeometry()
+	// Row-major mapping: the first ColsPerRow granules stay in one bank/row.
+	for i := 0; i < g.ColsPerRow(); i++ {
+		a, err := g.DecodeAddress(int64(i)*int64(g.ColBytes), MapRowBankCol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Bank != 0 || a.BankGroup != 0 || a.Row != 0 || a.Col != i {
+			t.Fatalf("row-major granule %d landed at %+v", i, a)
+		}
+	}
+	// Bank-interleaved mapping: consecutive granules visit different banks.
+	a0, _ := g.DecodeAddress(0, MapRowColBank)
+	a1, _ := g.DecodeAddress(int64(g.ColBytes), MapRowColBank)
+	if a0.Bank == a1.Bank && a0.BankGroup == a1.BankGroup {
+		t.Fatalf("bank-interleaved mapping did not switch banks: %+v then %+v", a0, a1)
+	}
+}
+
+func TestRowMajorMappingMaximisesRowHits(t *testing.T) {
+	// Streaming the same linear range: the row-major mapping must achieve a
+	// higher row-hit rate than the bank-interleaved one.
+	run := func(m AddressMapping) Stats {
+		e := sim.New()
+		c := NewController(e, PIMChannelGeometry(), HBM3Timing(), HBM3Energy())
+		if _, err := c.LinearStream(0, 64*1024, m, false); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		return c.Stats()
+	}
+	rowMajor := run(MapRowBankCol)
+	interleaved := run(MapRowColBank)
+	if rowMajor.RowHitRate() <= interleaved.RowHitRate() {
+		t.Fatalf("row-major hit rate %.2f should beat interleaved %.2f",
+			rowMajor.RowHitRate(), interleaved.RowHitRate())
+	}
+}
+
+func TestLinearStreamValidation(t *testing.T) {
+	e := sim.New()
+	c := NewController(e, PIMChannelGeometry(), HBM3Timing(), HBM3Energy())
+	if _, err := c.LinearStream(0, 0, MapRowBankCol, false); err == nil {
+		t.Error("zero-length stream should fail")
+	}
+	if _, err := c.LinearStream(int64(c.Geom.Capacity())-8, 1024, MapRowBankCol, false); err == nil {
+		t.Error("stream past capacity should fail")
+	}
+	n, err := c.LinearStream(0, 1024, MapRowBankCol, false)
+	if err != nil || n != 64 {
+		t.Fatalf("1 KiB stream = %d requests, %v; want 64", n, err)
+	}
+	e.Run()
+}
+
+// Property: encode/decode are inverse bijections over the whole channel for
+// both mappings.
+func TestAddressBijectionProperty(t *testing.T) {
+	g := PIMChannelGeometry()
+	f := func(bgRaw, bankRaw, colRaw uint8, rowRaw uint16, m bool) bool {
+		a := Address{
+			BankGroup: int(bgRaw) % g.BankGroups,
+			Bank:      int(bankRaw) % g.BanksPerGroup,
+			Row:       int(rowRaw) % g.Rows,
+			Col:       int(colRaw) % g.ColsPerRow(),
+		}
+		mapping := MapRowBankCol
+		if m {
+			mapping = MapRowColBank
+		}
+		raw, err := g.EncodeAddress(a, mapping)
+		if err != nil || raw < 0 || raw >= int64(g.Capacity()) {
+			return false
+		}
+		back, err := g.DecodeAddress(raw, mapping)
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

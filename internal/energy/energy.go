@@ -1,0 +1,102 @@
+// Package energy provides the system-level energy ledger used by the serving
+// simulator: named components accumulate joules, and the ledger reports
+// totals, shares and efficiency ratios (the Fig. 8(b)/9(b) metric).
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Component names the system parts that consume energy.
+type Component string
+
+// Standard components of the PAPI system and its baselines.
+const (
+	GPUActive    Component = "gpu-active"
+	GPUIdle      Component = "gpu-idle"
+	FCPIM        Component = "fc-pim"
+	AttnPIM      Component = "attn-pim"
+	Interconnect Component = "interconnect"
+	HostCPU      Component = "host-cpu"
+	Other        Component = "other"
+)
+
+// Ledger accumulates energy per component. The zero value is ready to use.
+type Ledger struct {
+	entries map[Component]units.Joules
+}
+
+// Add charges j joules to component c. Negative charges are a programming
+// error and panic (energy only accumulates).
+func (l *Ledger) Add(c Component, j units.Joules) {
+	if j < 0 {
+		panic(fmt.Sprintf("energy: negative charge %v to %s", j, c))
+	}
+	if l.entries == nil {
+		l.entries = make(map[Component]units.Joules)
+	}
+	l.entries[c] += j
+}
+
+// Get returns a component's accumulated energy.
+func (l *Ledger) Get(c Component) units.Joules { return l.entries[c] }
+
+// Total sums every component.
+func (l *Ledger) Total() units.Joules {
+	var t units.Joules
+	for _, j := range l.entries {
+		t += j
+	}
+	return t
+}
+
+// Share returns a component's fraction of the total (0 when empty).
+func (l *Ledger) Share(c Component) float64 {
+	t := l.Total()
+	if t <= 0 {
+		return 0
+	}
+	return float64(l.entries[c]) / float64(t)
+}
+
+// Components returns the charged components in deterministic order.
+func (l *Ledger) Components() []Component {
+	cs := make([]Component, 0, len(l.entries))
+	for c := range l.entries {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Merge adds every entry of other into l.
+func (l *Ledger) Merge(other *Ledger) {
+	for c, j := range other.entries {
+		l.Add(c, j)
+	}
+}
+
+// String renders the ledger for debugging and reports.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	for _, c := range l.Components() {
+		fmt.Fprintf(&b, "%s: %v (%.1f%%)\n", c, l.entries[c], 100*l.Share(c))
+	}
+	fmt.Fprintf(&b, "total: %v", l.Total())
+	return b.String()
+}
+
+// EfficiencyVersus returns the energy-efficiency improvement of this ledger
+// relative to a baseline performing the same work: baseline total / ours.
+// Values above 1 mean this system is more efficient.
+func (l *Ledger) EfficiencyVersus(baseline *Ledger) float64 {
+	ours := float64(l.Total())
+	if ours <= 0 {
+		return 0
+	}
+	return float64(baseline.Total()) / ours
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/papi-sim/papi/internal/kernels"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/stats"
+)
+
+// Fig2Point is one dot on the Fig. 2 roofline plot.
+type Fig2Point struct {
+	Config
+	Kernel           string
+	AI               float64
+	AttainableTFLOPS float64
+	Bound            kernels.Boundedness
+}
+
+// Fig2Result reproduces Fig. 2: the OPT-30B roofline study on the A100.
+type Fig2Result struct {
+	RidgeAI float64
+	// SweepA is Fig. 2(a): batch 4..128 at speculation length 8.
+	SweepA []Fig2Point
+	// SweepB is Fig. 2(b): speculation 2..8 at batch 32.
+	SweepB []Fig2Point
+}
+
+// Fig2 runs the roofline characterisation.
+func Fig2() Fig2Result {
+	cfg := model.OPT30B()
+	roof := kernels.A100Roofline()
+	res := Fig2Result{RidgeAI: roof.Ridge()}
+
+	point := func(c Config, k model.Kernel) Fig2Point {
+		p := kernels.Characterize(k, roof)
+		return Fig2Point{
+			Config:           c,
+			Kernel:           k.Kind.String(),
+			AI:               p.AI,
+			AttainableTFLOPS: float64(p.Attainable) / 1e12,
+			Bound:            p.Bound,
+		}
+	}
+	kvLens := func(batch int) []int {
+		ls := make([]int, batch)
+		for i := range ls {
+			ls[i] = 1024 // mid-generation context, as in the paper's setup
+		}
+		return ls
+	}
+
+	for _, batch := range []int{4, 8, 16, 32, 64, 128} {
+		c := Config{Batch: batch, Spec: 8}
+		res.SweepA = append(res.SweepA,
+			point(c, cfg.FFNKernel(batch*c.Spec)),
+			point(c, cfg.AttentionKernel(c.Spec, kvLens(batch))))
+	}
+	for _, spec := range []int{2, 4, 6, 8} {
+		c := Config{Batch: 32, Spec: spec}
+		res.SweepB = append(res.SweepB,
+			point(c, cfg.FFNKernel(c.Batch*spec)),
+			point(c, cfg.AttentionKernel(spec, kvLens(c.Batch))))
+	}
+	return res
+}
+
+// String renders both sweeps.
+func (r Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — Roofline of OPT-30B decoding kernels on A100 (ridge = %.0f FLOP/B)\n", r.RidgeAI)
+	render := func(title string, pts []Fig2Point) {
+		t := stats.NewTable(title, "config", "kernel", "AI (FLOP/B)", "attainable", "bound")
+		for _, p := range pts {
+			t.AddRow(p.Config.String(), p.Kernel,
+				fmt.Sprintf("%.1f", p.AI),
+				fmt.Sprintf("%.1f TFLOP/s", p.AttainableTFLOPS),
+				p.Bound.String())
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	render("(a) batch sweep, speculation length 8", r.SweepA)
+	render("(b) speculation sweep, batch 32", r.SweepB)
+	return b.String()
+}

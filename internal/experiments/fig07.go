@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/pim"
+	"github.com/papi-sim/papi/internal/stats"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Fig7EnergyResult reproduces Fig. 7(a)/(b): the PIM energy breakdown for the
+// FC kernel without data reuse and with reuse level 64.
+type Fig7EnergyResult struct {
+	// Shares are fractions of dynamic energy [DRAM access, transfer, compute].
+	NoReuse [3]float64
+	Reuse64 [3]float64
+	// Detailed is the DRAM-access share measured through the command-level
+	// DRAM simulator (reuse 1), validating the analytic constant.
+	DetailedNoReuseDRAMShare float64
+}
+
+// Fig7Energy measures the breakdown on a 1P1B device (the paper's "traditional
+// PIM design" baseline for this analysis).
+func Fig7Energy() Fig7EnergyResult {
+	// Shares are scale-invariant; a modest kernel keeps the command-level
+	// DRAM validation fast.
+	d := pim.New(hbm.AttAccStack(), 1)
+	d.Governor = false
+	w := units.Bytes(32 * units.MiB)
+	shares := func(reuse float64) [3]float64 {
+		k := pim.Kernel{Name: "fc", Class: pim.ClassFC,
+			Flops: units.FLOPs(reuse * float64(w)), UniqueBytes: w}
+		e := d.Execute(k, 1).Energy
+		dyn := float64(e.DRAMAccess + e.Transfer + e.Compute)
+		return [3]float64{
+			float64(e.DRAMAccess) / dyn,
+			float64(e.Transfer) / dyn,
+			float64(e.Compute) / dyn,
+		}
+	}
+	det := d.ExecuteDetailed(pim.Kernel{Name: "fc", Class: pim.ClassFC,
+		Flops: units.FLOPs(float64(w)), UniqueBytes: w}, 1).Energy
+	detDyn := float64(det.DRAMAccess + det.Transfer + det.Compute)
+	return Fig7EnergyResult{
+		NoReuse:                  shares(1),
+		Reuse64:                  shares(64),
+		DetailedNoReuseDRAMShare: float64(det.DRAMAccess) / detDyn,
+	}
+}
+
+// String renders the breakdown.
+func (r Fig7EnergyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7(a)/(b) — PIM energy breakdown for the FC kernel\n")
+	t := stats.NewTable("", "data reuse", "DRAM access", "transfer", "computation")
+	row := func(name string, s [3]float64) {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f%%", 100*s[0]),
+			fmt.Sprintf("%.1f%%", 100*s[1]),
+			fmt.Sprintf("%.1f%%", 100*s[2]))
+	}
+	row("1 (none)", r.NoReuse)
+	row("64", r.Reuse64)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "paper: 96.7%% DRAM access at no reuse, 33.1%% at reuse 64\n")
+	fmt.Fprintf(&b, "command-level DRAM simulator (reuse 1): %.1f%% DRAM access\n",
+		100*r.DetailedNoReuseDRAMShare)
+	return b.String()
+}
+
+// Fig7PowerRow is one curve point of Fig. 7(c).
+type Fig7PowerRow struct {
+	Reuse   float64
+	OneP1B  float64 // W per stack
+	TwoP1B  float64
+	FourP1B float64
+}
+
+// Fig7PowerResult reproduces Fig. 7(c): demand power versus data-reuse level
+// for the three PIM configurations against the 116 W HBM budget.
+type Fig7PowerResult struct {
+	Rows    []Fig7PowerRow
+	BudgetW float64
+	// MinReuse4P1B is the smallest in-budget reuse for 4P1B (paper: 4).
+	MinReuse4P1B float64
+}
+
+// Fig7Power sweeps reuse ∈ {1,4,16,64}.
+func Fig7Power() Fig7PowerResult {
+	m := pim.DefaultEnergyModel()
+	one := hbm.AttAccStack()
+	two := hbm.NewStack(hbm.TwoPerBank)
+	four := hbm.FCPIMStack()
+	out := Fig7PowerResult{BudgetW: hbm.PowerBudgetW, MinReuse4P1B: pim.MinReuseWithinBudget(four, m)}
+	for _, r := range []float64{1, 4, 16, 64} {
+		out.Rows = append(out.Rows, Fig7PowerRow{
+			Reuse:   r,
+			OneP1B:  float64(pim.DemandPower(one, m, r)),
+			TwoP1B:  float64(pim.DemandPower(two, m, r)),
+			FourP1B: float64(pim.DemandPower(four, m, r)),
+		})
+	}
+	return out
+}
+
+// String renders the power curves.
+func (r Fig7PowerResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7(c) — PIM demand power vs data-reuse level (budget %.0f W)\n", r.BudgetW)
+	t := stats.NewTable("", "reuse", "1P1B", "2P1B", "4P1B")
+	for _, row := range r.Rows {
+		mark := func(w float64) string {
+			s := fmt.Sprintf("%.0f W", w)
+			if w > r.BudgetW {
+				s += " (over)"
+			}
+			return s
+		}
+		t.AddRow(fmt.Sprintf("%.0f", row.Reuse), mark(row.OneP1B), mark(row.TwoP1B), mark(row.FourP1B))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "4P1B first fits the budget at reuse %.0f (paper: ≥4)\n", r.MinReuse4P1B)
+	return b.String()
+}

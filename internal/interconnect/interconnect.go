@@ -1,0 +1,90 @@
+// Package interconnect models the links of the PAPI system (§6.3): the
+// high-speed NVLink fabric between the processing units and the FC-PIM
+// devices, and the commodity PCIe/CXL fabric to the disaggregated Attn-PIM
+// devices.
+//
+// The paper reasons about interconnects at the bandwidth-class level (NVLink
+// for the weight-heavy FC path, PCIe/CXL for the byte-level Q-vector traffic
+// of attention); the model here is correspondingly simple: per-link
+// bandwidth, latency, and per-byte energy.
+package interconnect
+
+import (
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Link is one interconnect class.
+type Link struct {
+	Name    string
+	BW      units.BytesPerSecond // effective (not headline) bandwidth
+	Latency units.Seconds        // per-transfer latency (software + flight)
+	PJB     float64              // energy per byte moved, pJ/B
+	// MaxDevices is the fan-out limit of the fabric (PCIe buses support up to
+	// 32 devices, CXL scales to 4096 — §6.3).
+	MaxDevices int
+}
+
+// Presets per §6.3.
+
+// NVLink3 is the GPU↔FC-PIM fabric: 600 GB/s per A100, low latency.
+func NVLink3() Link {
+	return Link{Name: "NVLink3", BW: units.GBps(600), Latency: units.Microseconds(1.0), PJB: 8, MaxDevices: 18}
+}
+
+// PCIe4 is a ×16 PCIe 4.0 fabric: 32 GB/s effective per direction.
+func PCIe4() Link {
+	return Link{Name: "PCIe4x16", BW: units.GBps(32), Latency: units.Microseconds(2.0), PJB: 10, MaxDevices: 32}
+}
+
+// CXL2 is a CXL 2.0 fabric with a PCIe5 PHY, scaling to thousands of
+// devices. The effective bandwidth is the host-side ×8 port through the
+// switch (32 GB/s), shared by the attention traffic; latency includes one
+// switch hop.
+func CXL2() Link {
+	return Link{Name: "CXL2", BW: units.GBps(32), Latency: units.Microseconds(2.0), PJB: 10, MaxDevices: 4096}
+}
+
+// Validate checks the link parameters.
+func (l Link) Validate() error {
+	if l.BW <= 0 {
+		return fmt.Errorf("interconnect: %s has non-positive bandwidth", l.Name)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("interconnect: %s has negative latency", l.Name)
+	}
+	if l.MaxDevices <= 0 {
+		return fmt.Errorf("interconnect: %s has no device budget", l.Name)
+	}
+	return nil
+}
+
+// Transfer reports one message's cost on the link.
+type Transfer struct {
+	Time   units.Seconds
+	Energy units.Joules
+}
+
+// Send returns the cost of moving b bytes as one message.
+func (l Link) Send(b units.Bytes) Transfer {
+	return Transfer{
+		Time:   l.Latency + l.BW.Time(b),
+		Energy: units.PicojoulesPerByte(l.PJB).Energy(b),
+	}
+}
+
+// SupportsDevices reports whether the fabric can address n devices.
+func (l Link) SupportsDevices(n int) bool { return n <= l.MaxDevices }
+
+// AttnFabric picks the cheapest fabric (§6.3) that can address n attention
+// devices: PCIe up to its 32-device limit, CXL beyond.
+func AttnFabric(n int) (Link, error) {
+	if p := PCIe4(); p.SupportsDevices(n) {
+		return p, nil
+	}
+	if c := CXL2(); c.SupportsDevices(n) {
+		return c, nil
+	}
+	return Link{}, fmt.Errorf("interconnect: no fabric supports %d devices", n)
+}

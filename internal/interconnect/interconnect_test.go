@@ -1,0 +1,101 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, l := range []Link{NVLink3(), PCIe4(), CXL2()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	l := NVLink3()
+	l.BW = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	l = NVLink3()
+	l.Latency = -1
+	if err := l.Validate(); err == nil {
+		t.Error("negative latency should fail")
+	}
+	l = NVLink3()
+	l.MaxDevices = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero device budget should fail")
+	}
+}
+
+func TestSendCost(t *testing.T) {
+	l := PCIe4()
+	tr := l.Send(units.GB(0.032)) // 32 MB at 32 GB/s = 1 ms
+	want := float64(l.Latency) + 1e-3
+	if math.Abs(float64(tr.Time)-want) > 1e-12 {
+		t.Fatalf("time = %v, want %.6g", tr.Time, want)
+	}
+	wantE := 0.032e9 * 10e-12
+	if math.Abs(float64(tr.Energy)-wantE) > wantE*1e-9 {
+		t.Fatalf("energy = %v, want %.4g", tr.Energy, wantE)
+	}
+}
+
+func TestSendZeroBytes(t *testing.T) {
+	// Latency still applies to empty messages (a command costs a flight).
+	l := NVLink3()
+	tr := l.Send(0)
+	if tr.Time != l.Latency {
+		t.Fatalf("zero-byte time = %v, want latency %v", tr.Time, l.Latency)
+	}
+	if tr.Energy != 0 {
+		t.Fatalf("zero-byte energy = %v", tr.Energy)
+	}
+}
+
+func TestNVLinkFasterThanPCIe(t *testing.T) {
+	b := units.GB(1)
+	if NVLink3().Send(b).Time >= PCIe4().Send(b).Time {
+		t.Fatal("NVLink should beat PCIe for bulk transfers")
+	}
+}
+
+func TestAttnFabricSelection(t *testing.T) {
+	// §6.3: PCIe supports up to 32 devices; CXL scales to 4096.
+	l, err := AttnFabric(30)
+	if err != nil || l.Name != "PCIe4x16" {
+		t.Fatalf("30 devices → %v, %v; want PCIe", l.Name, err)
+	}
+	l, err = AttnFabric(60)
+	if err != nil || l.Name != "CXL2" {
+		t.Fatalf("60 devices → %v, %v; want CXL", l.Name, err)
+	}
+	if _, err = AttnFabric(5000); err == nil {
+		t.Fatal("5000 devices should exceed every fabric")
+	}
+}
+
+// Property: transfer time is latency-floored, monotone, and additive within
+// rounding (two messages cost at least one big one plus a latency).
+func TestSendProperty(t *testing.T) {
+	l := CXL2()
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := units.Bytes(aRaw), units.Bytes(bRaw)
+		ta, tb := l.Send(a), l.Send(b)
+		both := l.Send(a + b)
+		if ta.Time < l.Latency || tb.Time < l.Latency {
+			return false
+		}
+		split := float64(ta.Time) + float64(tb.Time)
+		return split >= float64(both.Time)+float64(l.Latency)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package kernels provides roofline characterisation of LLM decoding kernels
+// (§3.1, Fig. 2): given a target's peak compute and memory bandwidth, it
+// classifies kernels as memory- or compute-bound and computes attainable
+// performance at any arithmetic intensity.
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Boundedness classifies a kernel against a roofline.
+type Boundedness int
+
+// Kernel boundedness classes.
+const (
+	MemoryBound Boundedness = iota
+	ComputeBound
+)
+
+// String names the class.
+func (b Boundedness) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// Roofline is a target's performance envelope.
+type Roofline struct {
+	Name        string
+	PeakCompute units.FLOPSRate
+	PeakBW      units.BytesPerSecond
+}
+
+// Validate checks the envelope.
+func (r Roofline) Validate() error {
+	if r.PeakCompute <= 0 || r.PeakBW <= 0 {
+		return fmt.Errorf("kernels: roofline %q has non-positive peaks", r.Name)
+	}
+	return nil
+}
+
+// Ridge returns the ridge-point arithmetic intensity in FLOP/byte: the AI at
+// which the memory and compute roofs intersect.
+func (r Roofline) Ridge() float64 {
+	return float64(r.PeakCompute) / float64(r.PeakBW)
+}
+
+// Attainable returns the roofline-attainable performance at intensity ai.
+func (r Roofline) Attainable(ai float64) units.FLOPSRate {
+	mem := ai * float64(r.PeakBW)
+	if mem < float64(r.PeakCompute) {
+		return units.FLOPSRate(mem)
+	}
+	return r.PeakCompute
+}
+
+// Classify places intensity ai on the roofline.
+func (r Roofline) Classify(ai float64) Boundedness {
+	if ai >= r.Ridge() {
+		return ComputeBound
+	}
+	return MemoryBound
+}
+
+// Point is one characterised kernel: a dot on the Fig. 2 roofline plot.
+type Point struct {
+	Kernel     model.KernelKind
+	AI         float64
+	Attainable units.FLOPSRate
+	Bound      Boundedness
+}
+
+// Characterize evaluates a kernel against the roofline.
+func Characterize(k model.Kernel, r Roofline) Point {
+	ai := units.Intensity(k.Flops, k.UniqueBytes()+k.ActivationBytes)
+	return Point{
+		Kernel:     k.Kind,
+		AI:         ai,
+		Attainable: r.Attainable(ai),
+		Bound:      r.Classify(ai),
+	}
+}
+
+// A100Roofline returns the roofline used in Fig. 2 (published peaks, not
+// efficiency-derated: the figure plots the theoretical envelope).
+func A100Roofline() Roofline {
+	return Roofline{Name: "A100", PeakCompute: units.TFLOPS(312), PeakBW: units.GBps(1935)}
+}

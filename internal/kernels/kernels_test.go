@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/model"
+)
+
+func TestRidge(t *testing.T) {
+	r := A100Roofline()
+	if math.Abs(r.Ridge()-161.24) > 0.1 {
+		t.Fatalf("A100 ridge = %.2f, want ≈161.2", r.Ridge())
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	r := A100Roofline()
+	// Memory side: AI=10 → 10 × 1935 GB/s = 19.35 TFLOP/s.
+	if got := float64(r.Attainable(10)); math.Abs(got-19.35e12) > 1e6 {
+		t.Fatalf("attainable(10) = %v", r.Attainable(10))
+	}
+	// Compute roof.
+	if got := float64(r.Attainable(1000)); got != 312e12 {
+		t.Fatalf("attainable(1000) = %v", r.Attainable(1000))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	r := A100Roofline()
+	if r.Classify(100) != MemoryBound {
+		t.Fatal("AI=100 should be memory-bound on A100")
+	}
+	if r.Classify(200) != ComputeBound {
+		t.Fatal("AI=200 should be compute-bound on A100")
+	}
+	if MemoryBound.String() != "memory-bound" || ComputeBound.String() != "compute-bound" {
+		t.Fatal("boundedness names wrong")
+	}
+}
+
+func TestFig2aFCTransition(t *testing.T) {
+	// Fig. 2(a): OPT-30B, speculation length 8. FC is memory-bound at batch
+	// sizes 4–16 and compute-bound at ≥ 32.
+	cfg := model.OPT30B()
+	r := A100Roofline()
+	spec := 8
+	for _, batch := range []int{4, 8, 16} {
+		p := Characterize(cfg.FFNKernel(batch*spec), r)
+		if p.Bound != MemoryBound {
+			t.Errorf("batch %d, spec 8: FC classified %v, want memory-bound (AI %.1f)", batch, p.Bound, p.AI)
+		}
+	}
+	for _, batch := range []int{32, 64, 128} {
+		p := Characterize(cfg.FFNKernel(batch*spec), r)
+		if p.Bound != ComputeBound {
+			t.Errorf("batch %d, spec 8: FC classified %v, want compute-bound (AI %.1f)", batch, p.Bound, p.AI)
+		}
+	}
+}
+
+func TestFig2aAttentionAlwaysMemoryBound(t *testing.T) {
+	// Fig. 2: the attention kernel stays memory-bound at every batch size
+	// and speculation length.
+	cfg := model.OPT30B()
+	r := A100Roofline()
+	for _, batch := range []int{4, 32, 128} {
+		for _, spec := range []int{2, 4, 8} {
+			kv := make([]int, batch)
+			for i := range kv {
+				kv[i] = 1024
+			}
+			p := Characterize(cfg.AttentionKernel(spec, kv), r)
+			if p.Bound != MemoryBound {
+				t.Errorf("batch %d spec %d: attention classified %v (AI %.1f)", batch, spec, p.Bound, p.AI)
+			}
+		}
+	}
+}
+
+func TestFig2bSpeculationSweep(t *testing.T) {
+	// Fig. 2(b): batch 32, speculation 2–8. FC becomes compute-bound when
+	// the speculation length exceeds 6.
+	cfg := model.OPT30B()
+	r := A100Roofline()
+	batch := 32
+	low := Characterize(cfg.FFNKernel(batch*2), r)
+	if low.Bound != MemoryBound {
+		t.Errorf("batch 32 spec 2: FC %v, want memory-bound", low.Bound)
+	}
+	high := Characterize(cfg.FFNKernel(batch*8), r)
+	if high.Bound != ComputeBound {
+		t.Errorf("batch 32 spec 8: FC %v, want compute-bound", high.Bound)
+	}
+}
+
+func TestShortcoming2AIGap(t *testing.T) {
+	// §3.3 Shortcoming 2: at batch 4, spec 8, FC's AI (~31.7) is ≈4.5× the
+	// attention kernel's (~7.0).
+	cfg := model.OPT30B()
+	fc := Characterize(cfg.FFNKernel(4*8), A100Roofline())
+	kv := []int{1024, 1024, 1024, 1024}
+	at := Characterize(cfg.AttentionKernel(8, kv), A100Roofline())
+	ratio := fc.AI / at.AI
+	if ratio < 3.5 || ratio > 6 {
+		t.Fatalf("FC/attention AI ratio = %.2f (FC %.1f, attn %.1f), want ≈4.5", ratio, fc.AI, at.AI)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := A100Roofline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Roofline{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero peaks should fail")
+	}
+}
+
+// Property: attainable performance is non-decreasing in AI and bounded by the
+// compute roof; classification is consistent with the ridge.
+func TestRooflineProperty(t *testing.T) {
+	r := A100Roofline()
+	f := func(aiRaw uint16) bool {
+		ai := float64(aiRaw)/64 + 0.01
+		att := float64(r.Attainable(ai))
+		if att > float64(r.PeakCompute)+1 {
+			return false
+		}
+		att2 := float64(r.Attainable(ai * 2))
+		if att2 < att-1 {
+			return false
+		}
+		if (r.Classify(ai) == ComputeBound) != (ai >= r.Ridge()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Characterize's AI equals flops / total bytes.
+func TestCharacterizeAIProperty(t *testing.T) {
+	cfg := model.GPT3_66B()
+	r := A100Roofline()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%128 + 1
+		k := cfg.QKVKernel(n)
+		p := Characterize(k, r)
+		want := float64(k.Flops) / float64(k.WeightBytes+k.ActivationBytes)
+		return math.Abs(p.AI-want) < 1e-9*want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacterizeZeroBytes(t *testing.T) {
+	p := Characterize(model.Kernel{Kind: model.KindFFN, Flops: 100}, A100Roofline())
+	if !math.IsInf(p.AI, 1) || p.Bound != ComputeBound {
+		t.Fatalf("pure-compute kernel: AI=%v bound=%v", p.AI, p.Bound)
+	}
+}

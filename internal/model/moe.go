@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// MoE models a Mixture-of-Experts transformer (§6.5): the FFN of every layer
+// is replaced by Experts sparsely-activated expert FFNs, of which each token
+// routes through TopK. Expert sparsity lowers the FC kernel's effective data
+// reuse — each expert's weights serve only the tokens routed to it — which
+// is exactly the regime the paper argues FC-PIM exploits well (expert weight
+// slices live in-bank; idle FPUs are minimised; data movement avoided).
+type MoE struct {
+	Base    Config
+	Experts int
+	TopK    int
+}
+
+// Mixtral8x7BLike returns a Mixtral-8x7B-class MoE configuration.
+func Mixtral8x7BLike() MoE {
+	return MoE{
+		Base: Config{Name: "Mixtral-8x7B-like", Hidden: 4096, Layers: 32, Heads: 32,
+			FFNDim: 14336, FFNMatrices: 3, VocabSize: 32000, MaxSeqLen: 4096},
+		Experts: 8,
+		TopK:    2,
+	}
+}
+
+// Validate checks the MoE structure.
+func (m MoE) Validate() error {
+	if err := m.Base.Validate(); err != nil {
+		return err
+	}
+	if m.Experts < 2 {
+		return fmt.Errorf("model: MoE needs ≥ 2 experts, got %d", m.Experts)
+	}
+	if m.TopK < 1 || m.TopK > m.Experts {
+		return fmt.Errorf("model: MoE top-k %d outside [1,%d]", m.TopK, m.Experts)
+	}
+	return nil
+}
+
+// expertFFNBytes is one expert's FFN weight footprint per layer.
+func (m MoE) expertFFNBytes() float64 {
+	return float64(m.Base.FFNMatrices) * float64(m.Base.Hidden) * float64(m.Base.FFNDim) * BytesPerElement
+}
+
+// attnFCBytes is the dense (non-expert) FC weight footprint per layer:
+// QKV generation plus projection.
+func (m MoE) attnFCBytes() float64 {
+	h := float64(m.Base.Hidden)
+	return 4 * h * h * BytesPerElement
+}
+
+// WeightBytes returns the full model footprint: all experts are resident.
+func (m MoE) WeightBytes() units.Bytes {
+	perLayer := m.attnFCBytes() + float64(m.Experts)*m.expertFFNBytes()
+	embed := float64(m.Base.VocabSize) * float64(m.Base.Hidden) * BytesPerElement
+	return units.Bytes(float64(m.Base.Layers)*perLayer + embed)
+}
+
+// Params returns the total parameter count.
+func (m MoE) Params() int64 {
+	return int64(float64(m.WeightBytes()) / BytesPerElement)
+}
+
+// ActiveExperts returns the expected number of distinct experts activated per
+// layer when n tokens each route to TopK of Experts uniformly:
+// E·(1 − (1 − k/E)ⁿ). This drives how much expert weight data is streamed.
+func (m MoE) ActiveExperts(n int) float64 {
+	e, k := float64(m.Experts), float64(m.TopK)
+	return e * (1 - math.Pow(1-k/e, float64(n)))
+}
+
+// FCIterationKernel aggregates one decoding iteration's FC work (all layers)
+// with n tokens in flight. Unlike the dense case, FLOPs and streamed bytes
+// diverge: each token computes through TopK experts, but only the activated
+// experts' weights are streamed — so the kernel's data-reuse level is
+// n·TopK/ActiveExperts per expert rather than n.
+func (m MoE) FCIterationKernel(n int) Kernel {
+	layers := float64(m.Base.Layers)
+	nf := float64(n)
+	active := m.ActiveExperts(n)
+
+	denseBytes := m.attnFCBytes() * layers
+	expertBytesStreamed := active * m.expertFFNBytes() * layers
+	flops := nf*denseBytes + nf*float64(m.TopK)*m.expertFFNBytes()*layers
+
+	h := float64(m.Base.Hidden)
+	return Kernel{
+		Kind:            KindFFN,
+		Flops:           units.FLOPs(flops),
+		WeightBytes:     units.Bytes(denseBytes + expertBytesStreamed),
+		ActivationBytes: units.Bytes(nf * 2 * h * BytesPerElement * layers),
+	}
+}
+
+// DenseEquivalent returns a dense model with the same *active* compute per
+// token, for comparing MoE's memory behaviour against a dense baseline.
+func (m MoE) DenseEquivalent() Config {
+	c := m.Base
+	c.Name = m.Base.Name + " (dense-equivalent)"
+	c.FFNDim = m.Base.FFNDim * m.TopK
+	return c
+}

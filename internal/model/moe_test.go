@@ -1,0 +1,112 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixtralLikeShape(t *testing.T) {
+	m := Mixtral8x7BLike()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mixtral 8x7B has ~47B parameters.
+	b := float64(m.Params()) / 1e9
+	if math.Abs(b-47)/47 > 0.05 {
+		t.Fatalf("params = %.1fB, want ≈47B", b)
+	}
+}
+
+func TestMoEValidate(t *testing.T) {
+	m := Mixtral8x7BLike()
+	m.Experts = 1
+	if err := m.Validate(); err == nil {
+		t.Error("1 expert should fail")
+	}
+	m = Mixtral8x7BLike()
+	m.TopK = 9
+	if err := m.Validate(); err == nil {
+		t.Error("top-k > experts should fail")
+	}
+	m = Mixtral8x7BLike()
+	m.Base.Hidden = 0
+	if err := m.Validate(); err == nil {
+		t.Error("invalid base should fail")
+	}
+}
+
+func TestActiveExperts(t *testing.T) {
+	m := Mixtral8x7BLike() // 8 experts, top-2
+	// One token activates exactly TopK experts in expectation.
+	if got := m.ActiveExperts(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("ActiveExperts(1) = %v, want 2", got)
+	}
+	// Many tokens saturate all experts.
+	if got := m.ActiveExperts(1000); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("ActiveExperts(1000) = %v, want ≈8", got)
+	}
+	// Monotone.
+	prev := 0.0
+	for n := 1; n <= 64; n *= 2 {
+		got := m.ActiveExperts(n)
+		if got <= prev {
+			t.Fatalf("ActiveExperts not increasing at n=%d", n)
+		}
+		prev = got
+	}
+}
+
+func TestMoELowerReuseThanDense(t *testing.T) {
+	// §6.5's premise: expert sparsity lowers the FC kernel's arithmetic
+	// intensity versus a dense model with the same active compute, keeping
+	// it in FC-PIM-favourable territory at batch sizes where dense FC has
+	// already turned compute-bound.
+	m := Mixtral8x7BLike()
+	dense := m.DenseEquivalent()
+	for _, n := range []int{8, 16, 32, 64} {
+		moeK := m.FCIterationKernel(n)
+		denseK := dense.FCIterationKernel(n)
+		moeAI := float64(moeK.Flops) / float64(moeK.WeightBytes)
+		denseAI := float64(denseK.Flops) / float64(denseK.WeightBytes)
+		if moeAI >= denseAI {
+			t.Errorf("n=%d: MoE AI %.1f should be below dense-equivalent %.1f", n, moeAI, denseAI)
+		}
+		// Active compute matches the dense equivalent.
+		if r := float64(moeK.Flops) / float64(denseK.Flops); math.Abs(r-1) > 0.01 {
+			t.Errorf("n=%d: MoE flops should match dense-equivalent (ratio %.3f)", n, r)
+		}
+	}
+}
+
+func TestMoESingleTokenStreamsOnlyTopK(t *testing.T) {
+	m := Mixtral8x7BLike()
+	k := m.FCIterationKernel(1)
+	layers := float64(m.Base.Layers)
+	wantExpert := 2 * m.expertFFNBytes() * layers
+	wantDense := m.attnFCBytes() * layers
+	if math.Abs(float64(k.WeightBytes)-(wantExpert+wantDense)) > 1 {
+		t.Fatalf("single-token streamed bytes = %v, want dense + 2 experts", k.WeightBytes)
+	}
+}
+
+// Property: streamed expert bytes never exceed the full expert pool, and
+// reuse (flops/bytes) is monotone in n.
+func TestMoEKernelProperty(t *testing.T) {
+	m := Mixtral8x7BLike()
+	maxBytes := float64(m.WeightBytes())
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%256 + 1
+		k := m.FCIterationKernel(n)
+		if float64(k.WeightBytes) > maxBytes {
+			return false
+		}
+		k2 := m.FCIterationKernel(n + 1)
+		ai1 := float64(k.Flops) / float64(k.WeightBytes)
+		ai2 := float64(k2.Flops) / float64(k2.WeightBytes)
+		return ai2 > ai1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package pim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Design-space exploration (§6.1–6.2 as executable methodology).
+//
+// The paper derives its two PIM devices from three constraints: the die-area
+// cap (Eq. 3), the 116 W per-cube power budget, and the data-reuse level the
+// target kernel offers (RLP×TLP for FC, TLP for attention). This file
+// enumerates the xPyB space and selects the highest-compute configuration
+// that is feasible at a given reuse level — reproducing the paper's choices:
+// 4P1B for FC (reuse ≥ 4) and 1P2B for attention (reuse ≈ 1).
+
+// DesignPoint is one evaluated xPyB configuration.
+type DesignPoint struct {
+	Stack hbm.Stack
+	// MinInBudgetReuse is the smallest power-of-two data-reuse level at
+	// which the configuration's demand power fits the 116 W budget.
+	MinInBudgetReuse float64
+	// DemandPowerNoReuse is the Fig. 7(c) reuse-1 power.
+	DemandPowerNoReuse units.Watts
+}
+
+// ComputeRate returns the point's per-stack FPU throughput.
+func (d DesignPoint) ComputeRate() units.FLOPSRate { return d.Stack.ComputeRate() }
+
+// Capacity returns the point's per-stack memory capacity.
+func (d DesignPoint) Capacity() units.Bytes { return d.Stack.Capacity() }
+
+// EnumerateDesigns evaluates the paper's design vocabulary: 1P2B plus xP1B
+// for x = 1..maxFPUsPerBank (the Fig. 7(c) axis), under the given energy
+// model. Configurations that fail the area solver are skipped.
+func EnumerateDesigns(maxFPUsPerBank int, m EnergyModel) []DesignPoint {
+	configs := []hbm.PIMConfig{{FPUs: 1, Banks: 2}}
+	for x := 1; x <= maxFPUsPerBank; x++ {
+		configs = append(configs, hbm.PIMConfig{FPUs: x, Banks: 1})
+	}
+	var out []DesignPoint
+	for _, c := range configs {
+		s := hbm.NewStack(c)
+		if s.Validate() != nil || s.FPUs() == 0 {
+			continue
+		}
+		out = append(out, DesignPoint{
+			Stack:              s,
+			MinInBudgetReuse:   MinReuseWithinBudget(s, m),
+			DemandPowerNoReuse: DemandPower(s, m, 1),
+		})
+	}
+	return out
+}
+
+// SelectPIM picks the highest-compute design that is power-feasible at the
+// kernel's data-reuse level (capacity breaks ties). This is the §6.1/§6.2
+// derivation: call it with the FC kernel's reuse (≥ 4 under the evaluated
+// parallelism) to obtain FC-PIM, and with attention's reuse (≈ TLP, worst
+// case 1) to obtain Attn-PIM.
+func SelectPIM(points []DesignPoint, reuse float64) (DesignPoint, error) {
+	var best DesignPoint
+	found := false
+	for _, p := range points {
+		if p.MinInBudgetReuse > reuse || math.IsInf(p.MinInBudgetReuse, 1) {
+			continue
+		}
+		if !found ||
+			float64(p.ComputeRate()) > float64(best.ComputeRate()) ||
+			(float64(p.ComputeRate()) == float64(best.ComputeRate()) &&
+				float64(p.Capacity()) > float64(best.Capacity())) {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return DesignPoint{}, fmt.Errorf("pim: no xPyB configuration fits the %g W budget at reuse %g",
+			hbm.PowerBudgetW, reuse)
+	}
+	return best, nil
+}
+
+// DeriveHybridPIM runs the full §6.1–6.2 derivation and returns the FC-PIM
+// and Attn-PIM design points for the given kernel reuse levels.
+func DeriveHybridPIM(m EnergyModel, fcReuse, attnReuse float64) (fc, attn DesignPoint, err error) {
+	points := EnumerateDesigns(8, m)
+	fc, err = SelectPIM(points, fcReuse)
+	if err != nil {
+		return fc, attn, fmt.Errorf("FC-PIM: %w", err)
+	}
+	attn, err = SelectPIM(points, attnReuse)
+	if err != nil {
+		return fc, attn, fmt.Errorf("Attn-PIM: %w", err)
+	}
+	return fc, attn, nil
+}

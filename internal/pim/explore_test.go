@@ -1,0 +1,124 @@
+package pim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumerateDesigns(t *testing.T) {
+	points := EnumerateDesigns(8, DefaultEnergyModel())
+	if len(points) != 9 { // 1P2B + 1P1B..8P1B
+		t.Fatalf("points = %d, want 9", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		seen[p.Stack.Config.String()] = true
+		if p.Stack.DieArea() > 121.0+1e-9 {
+			t.Errorf("%s violates the die-area cap", p.Stack.Config)
+		}
+	}
+	for _, want := range []string{"1P2B", "1P1B", "4P1B", "8P1B"} {
+		if !seen[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestDerivationReproducesPaperDesigns(t *testing.T) {
+	// §6.1–6.2: with FC reuse ≥ 4 (the evaluated parallelism levels) and
+	// attention reuse ≈ 1 (no batching reuse, worst-case TLP), the
+	// constraint solver must select exactly the paper's devices.
+	fc, attn, err := DeriveHybridPIM(DefaultEnergyModel(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Stack.Config.String(); got != "4P1B" {
+		t.Errorf("FC-PIM derivation = %s, want 4P1B", got)
+	}
+	if got := attn.Stack.Config.String(); got != "1P2B" {
+		t.Errorf("Attn-PIM derivation = %s, want 1P2B", got)
+	}
+	// 4P1B is exactly the feasibility frontier at reuse 4: 5P1B would
+	// exceed the budget there (§6.1's "maximum capacity achievable").
+	points := EnumerateDesigns(8, DefaultEnergyModel())
+	for _, p := range points {
+		if p.Stack.Config.FPUs == 5 && p.Stack.Config.Banks == 1 {
+			if p.MinInBudgetReuse <= 4 {
+				t.Errorf("5P1B should not be feasible at reuse 4 (min reuse %v)", p.MinInBudgetReuse)
+			}
+		}
+	}
+}
+
+func TestHigherReuseUnlocksDenserDesigns(t *testing.T) {
+	// With abundant reuse the frontier moves beyond 4P1B — the §6.5 MoE
+	// discussion's implicit headroom.
+	points := EnumerateDesigns(8, DefaultEnergyModel())
+	at4, err := SelectPIM(points, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at64, err := SelectPIM(points, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(at64.ComputeRate()) <= float64(at4.ComputeRate()) {
+		t.Errorf("reuse 64 frontier (%v) should out-compute reuse 4 (%v)",
+			at64.ComputeRate(), at4.ComputeRate())
+	}
+}
+
+func TestSelectPIMInfeasible(t *testing.T) {
+	// A hostile energy model (huge per-byte cost) makes everything
+	// infeasible; the selector must fail loudly.
+	m := DefaultEnergyModel()
+	m.DRAMAccessPJB = 1e6
+	m.TransferPJB = 1e6
+	points := EnumerateDesigns(8, m)
+	if _, err := SelectPIM(points, 1); err == nil {
+		t.Fatal("no design should fit an absurd energy model")
+	}
+}
+
+func TestMinReuseMonotoneInDensity(t *testing.T) {
+	// Denser configurations need more reuse to fit the budget.
+	points := EnumerateDesigns(8, DefaultEnergyModel())
+	byName := map[string]DesignPoint{}
+	for _, p := range points {
+		byName[p.Stack.Config.String()] = p
+	}
+	if !(byName["1P2B"].MinInBudgetReuse <= byName["1P1B"].MinInBudgetReuse &&
+		byName["1P1B"].MinInBudgetReuse <= byName["4P1B"].MinInBudgetReuse &&
+		byName["4P1B"].MinInBudgetReuse <= byName["8P1B"].MinInBudgetReuse) {
+		t.Fatalf("min-reuse not monotone: %v %v %v %v",
+			byName["1P2B"].MinInBudgetReuse, byName["1P1B"].MinInBudgetReuse,
+			byName["4P1B"].MinInBudgetReuse, byName["8P1B"].MinInBudgetReuse)
+	}
+}
+
+// Property: the selected design is always feasible at the requested reuse and
+// no enumerated feasible design has strictly higher compute.
+func TestSelectPIMOptimalProperty(t *testing.T) {
+	points := EnumerateDesigns(8, DefaultEnergyModel())
+	f := func(rRaw uint8) bool {
+		reuse := float64(rRaw%64) + 1
+		best, err := SelectPIM(points, reuse)
+		if err != nil {
+			return false
+		}
+		if best.MinInBudgetReuse > reuse {
+			return false
+		}
+		for _, p := range points {
+			if p.MinInBudgetReuse <= reuse &&
+				float64(p.ComputeRate()) > float64(best.ComputeRate())+1e-6 {
+				return false
+			}
+		}
+		return !math.IsInf(best.MinInBudgetReuse, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

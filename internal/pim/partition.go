@@ -1,0 +1,227 @@
+package pim
+
+import (
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Data partitioning across PIM devices (§6.4).
+//
+// Attention: heads are distributed across Attn-PIM units, each head instance
+// assigned to one HBM device. Within a device, the Kᵀ matrix is partitioned
+// column-wise at the pseudo-channel and bank-group levels and row-wise at the
+// bank (and multiplier-lane) level; the V matrix conversely. FC weight
+// matrices are first divided into 2D blocks across devices, then partitioned
+// within a device like Kᵀ.
+
+// StackLayout is the addressing hierarchy of one PIM-enabled stack.
+type StackLayout struct {
+	PseudoChannels int
+	BankGroups     int // per pseudo-channel
+	BanksPerGroup  int
+	BankBytes      units.Bytes
+}
+
+// LayoutOf derives the layout from a stack: 16 banks per pseudo-channel
+// (4 bank groups × 4 banks), matching dram.PIMChannelGeometry.
+func LayoutOf(s hbm.Stack) StackLayout {
+	return StackLayout{
+		PseudoChannels: s.Banks() / 16,
+		BankGroups:     4,
+		BanksPerGroup:  4,
+		BankBytes:      units.Bytes(hbm.BankCapacityBytes),
+	}
+}
+
+// Banks returns the stack's total bank count.
+func (l StackLayout) Banks() int { return l.PseudoChannels * l.BankGroups * l.BanksPerGroup }
+
+// Validate checks the layout.
+func (l StackLayout) Validate() error {
+	if l.PseudoChannels <= 0 || l.BankGroups <= 0 || l.BanksPerGroup <= 0 {
+		return fmt.Errorf("pim: degenerate stack layout %+v", l)
+	}
+	return nil
+}
+
+// HeadAssignment places one attention head instance on one device.
+type HeadAssignment struct {
+	Request int
+	Head    int
+	Device  int
+}
+
+// AssignHeads distributes rlp×heads head instances over devices round-robin
+// ("each head assigned to a separate HBM device", wrapping when instances
+// outnumber devices). The resulting per-device load is balanced within one.
+func AssignHeads(rlp, heads, devices int) ([]HeadAssignment, error) {
+	if rlp <= 0 || heads <= 0 {
+		return nil, fmt.Errorf("pim: rlp %d and heads %d must be positive", rlp, heads)
+	}
+	if devices <= 0 {
+		return nil, fmt.Errorf("pim: device count %d must be positive", devices)
+	}
+	out := make([]HeadAssignment, 0, rlp*heads)
+	i := 0
+	for r := 0; r < rlp; r++ {
+		for h := 0; h < heads; h++ {
+			out = append(out, HeadAssignment{Request: r, Head: h, Device: i % devices})
+			i++
+		}
+	}
+	return out, nil
+}
+
+// DeviceLoads counts head instances per device.
+func DeviceLoads(assignments []HeadAssignment, devices int) []int {
+	loads := make([]int, devices)
+	for _, a := range assignments {
+		if a.Device >= 0 && a.Device < devices {
+			loads[a.Device]++
+		}
+	}
+	return loads
+}
+
+// Span is a half-open index interval [Start, End).
+type Span struct{ Start, End int }
+
+// Len returns the span's width.
+func (s Span) Len() int { return s.End - s.Start }
+
+// split divides [0,n) into k contiguous spans whose lengths differ by ≤ 1.
+// Spans beyond n are empty.
+func split(n, k int) []Span {
+	out := make([]Span, k)
+	for i := 0; i < k; i++ {
+		out[i] = Span{Start: i * n / k, End: (i + 1) * n / k}
+	}
+	return out
+}
+
+// BankTile is the sub-matrix one bank holds.
+type BankTile struct {
+	PseudoChannel int
+	BankGroup     int
+	Bank          int
+	Rows          Span
+	Cols          Span
+}
+
+// Bytes returns the tile footprint in FP16.
+func (t BankTile) Bytes() units.Bytes {
+	return units.Bytes(t.Rows.Len() * t.Cols.Len() * 2)
+}
+
+// matrixPartition tiles a rows×cols matrix over the stack: the outer
+// dimension is cut across pseudo-channels then bank groups, the inner across
+// banks. outerIsCols selects the Kᵀ scheme (columns outer) versus the V
+// scheme (rows outer).
+func matrixPartition(rows, cols int, l StackLayout, outerIsCols bool) ([]BankTile, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("pim: matrix %d×%d must be positive", rows, cols)
+	}
+	outerN, innerN := cols, rows
+	if !outerIsCols {
+		outerN, innerN = rows, cols
+	}
+	pcSpans := split(outerN, l.PseudoChannels)
+	var tiles []BankTile
+	for pc, pcSpan := range pcSpans {
+		bgSpans := split(pcSpan.Len(), l.BankGroups)
+		for bg, bgRel := range bgSpans {
+			bgSpan := Span{Start: pcSpan.Start + bgRel.Start, End: pcSpan.Start + bgRel.End}
+			bankSpans := split(innerN, l.BanksPerGroup)
+			for b, bankSpan := range bankSpans {
+				t := BankTile{PseudoChannel: pc, BankGroup: bg, Bank: b}
+				if outerIsCols {
+					t.Cols, t.Rows = bgSpan, bankSpan
+				} else {
+					t.Rows, t.Cols = bgSpan, bankSpan
+				}
+				if t.Bytes() > l.BankBytes {
+					return nil, fmt.Errorf("pim: tile %d×%d (%v) exceeds bank capacity %v",
+						t.Rows.Len(), t.Cols.Len(), t.Bytes(), l.BankBytes)
+				}
+				tiles = append(tiles, t)
+			}
+		}
+	}
+	return tiles, nil
+}
+
+// PartitionKT tiles one head's Kᵀ matrix (headDim × seqLen) per §6.4:
+// column-wise across pseudo-channels and bank groups, row-wise across banks.
+func PartitionKT(headDim, seqLen int, l StackLayout) ([]BankTile, error) {
+	return matrixPartition(headDim, seqLen, l, true)
+}
+
+// PartitionV tiles one head's V matrix (seqLen × headDim) per §6.4:
+// row-wise across pseudo-channels and bank groups, column-wise across banks.
+func PartitionV(seqLen, headDim int, l StackLayout) ([]BankTile, error) {
+	return matrixPartition(seqLen, headDim, l, false)
+}
+
+// PartitionFCBlock tiles one device's FC weight block (rows × cols) per
+// §6.4: like Kᵀ — column-wise at pseudo-channel/bank-group level, row-wise
+// at bank level.
+func PartitionFCBlock(rows, cols int, l StackLayout) ([]BankTile, error) {
+	return matrixPartition(rows, cols, l, true)
+}
+
+// DistributeFC splits a model's FC weights into per-device 2D blocks: the
+// weight matrix rows are divided evenly across devices (the "smaller 2D
+// blocks, each mapped to an HBM device" of §6.4).
+type FCBlock struct {
+	Device int
+	Rows   Span
+}
+
+// DistributeFC assigns row ranges of a rows-tall stack of FC matrices to
+// devices; per-device shares differ by at most one row.
+func DistributeFC(rows, devices int) ([]FCBlock, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("pim: %d weight rows must be positive", rows)
+	}
+	if devices <= 0 {
+		return nil, fmt.Errorf("pim: device count %d must be positive", devices)
+	}
+	spans := split(rows, devices)
+	out := make([]FCBlock, devices)
+	for i, s := range spans {
+		out[i] = FCBlock{Device: i, Rows: s}
+	}
+	return out, nil
+}
+
+// CoverageError verifies that tiles exactly cover a rows×cols matrix with no
+// overlap, returning nil when the partition is a perfect cover. It is used by
+// tests and by callers that construct custom layouts.
+func CoverageError(tiles []BankTile, rows, cols int) error {
+	covered := make(map[[2]int]int, rows*cols)
+	for _, t := range tiles {
+		for r := t.Rows.Start; r < t.Rows.End; r++ {
+			for c := t.Cols.Start; c < t.Cols.End; c++ {
+				if r < 0 || r >= rows || c < 0 || c >= cols {
+					return fmt.Errorf("pim: tile element (%d,%d) outside %d×%d", r, c, rows, cols)
+				}
+				covered[[2]int{r, c}]++
+			}
+		}
+	}
+	// Each element covered exactly... overlap shows as count > 1.
+	for k, n := range covered {
+		if n > 1 {
+			return fmt.Errorf("pim: element (%d,%d) covered %d times", k[0], k[1], n)
+		}
+	}
+	if len(covered) != rows*cols {
+		return fmt.Errorf("pim: covered %d of %d elements", len(covered), rows*cols)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/hbm"
+)
+
+func TestLayoutOf(t *testing.T) {
+	l := LayoutOf(hbm.AttAccStack())
+	if l.PseudoChannels != 64 || l.Banks() != 1024 {
+		t.Fatalf("AttAcc layout = %+v", l)
+	}
+	l = LayoutOf(hbm.FCPIMStack())
+	if l.Banks() != 768 {
+		t.Fatalf("FC-PIM layout banks = %d, want 768", l.Banks())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := StackLayout{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("degenerate layout should fail")
+	}
+}
+
+func TestAssignHeadsBalanced(t *testing.T) {
+	// 4 requests × 64 heads over 60 devices (the paper's configuration).
+	as, err := AssignHeads(4, 64, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 256 {
+		t.Fatalf("assignments = %d, want 256", len(as))
+	}
+	loads := DeviceLoads(as, 60)
+	min, max := loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("head load imbalance: min %d max %d", min, max)
+	}
+}
+
+func TestAssignHeadsValidation(t *testing.T) {
+	if _, err := AssignHeads(0, 4, 4); err == nil {
+		t.Error("zero rlp should fail")
+	}
+	if _, err := AssignHeads(4, 0, 4); err == nil {
+		t.Error("zero heads should fail")
+	}
+	if _, err := AssignHeads(4, 4, 0); err == nil {
+		t.Error("zero devices should fail")
+	}
+}
+
+func TestPartitionKTCoverage(t *testing.T) {
+	// One LLaMA-65B head: Kᵀ is headDim(128) × seqLen(2048).
+	l := LayoutOf(hbm.HBMPIMStack())
+	tiles, err := PartitionKT(128, 2048, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != l.Banks() {
+		t.Fatalf("tiles = %d, want one per bank (%d)", len(tiles), l.Banks())
+	}
+	if err := CoverageError(tiles, 128, 2048); err != nil {
+		t.Fatal(err)
+	}
+	// §6.4: Kᵀ is column-partitioned at the pseudo-channel level — tiles in
+	// different pseudo-channels must not share columns.
+	for _, a := range tiles {
+		for _, b := range tiles {
+			if a.PseudoChannel != b.PseudoChannel &&
+				a.Cols.Start < b.Cols.End && b.Cols.Start < a.Cols.End &&
+				a.Cols.Len() > 0 && b.Cols.Len() > 0 {
+				t.Fatalf("pseudo-channels %d and %d share columns", a.PseudoChannel, b.PseudoChannel)
+			}
+		}
+	}
+}
+
+func TestPartitionVCoverage(t *testing.T) {
+	l := LayoutOf(hbm.HBMPIMStack())
+	tiles, err := PartitionV(2048, 128, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CoverageError(tiles, 2048, 128); err != nil {
+		t.Fatal(err)
+	}
+	// V is row-partitioned at the pseudo-channel level.
+	for _, a := range tiles {
+		for _, b := range tiles {
+			if a.PseudoChannel != b.PseudoChannel &&
+				a.Rows.Start < b.Rows.End && b.Rows.Start < a.Rows.End &&
+				a.Rows.Len() > 0 && b.Rows.Len() > 0 {
+				t.Fatalf("pseudo-channels %d and %d share rows", a.PseudoChannel, b.PseudoChannel)
+			}
+		}
+	}
+}
+
+func TestPartitionFCBlock(t *testing.T) {
+	// One FC-PIM device's share of a GPT-3 175B layer: 12288 × 410 columns.
+	l := LayoutOf(hbm.FCPIMStack())
+	tiles, err := PartitionFCBlock(12288, 410, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CoverageError(tiles, 12288, 410); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	l := LayoutOf(hbm.AttAccStack())
+	if _, err := PartitionKT(0, 100, l); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := PartitionKT(100, 0, l); err == nil {
+		t.Error("zero cols should fail")
+	}
+	// A tile that cannot fit in a bank is rejected.
+	tiny := StackLayout{PseudoChannels: 1, BankGroups: 1, BanksPerGroup: 1, BankBytes: 16}
+	if _, err := PartitionKT(100, 100, tiny); err == nil {
+		t.Error("over-capacity tile should fail")
+	}
+}
+
+func TestDistributeFC(t *testing.T) {
+	blocks, err := DistributeFC(12288, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	prevEnd := 0
+	for i, b := range blocks {
+		if b.Device != i {
+			t.Fatalf("device order broken at %d", i)
+		}
+		if b.Rows.Start != prevEnd {
+			t.Fatalf("gap before block %d", i)
+		}
+		prevEnd = b.Rows.End
+		total += b.Rows.Len()
+	}
+	if total != 12288 {
+		t.Fatalf("distributed %d rows, want 12288", total)
+	}
+	if _, err := DistributeFC(0, 30); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := DistributeFC(10, 0); err == nil {
+		t.Error("zero devices should fail")
+	}
+}
+
+// Property: every matrix partition is an exact cover with balanced tiles
+// (max/min tile area ratio bounded), for arbitrary shapes.
+func TestPartitionCoverProperty(t *testing.T) {
+	l := StackLayout{PseudoChannels: 4, BankGroups: 4, BanksPerGroup: 4, BankBytes: 1 << 30}
+	f := func(rRaw, cRaw uint8, kt bool) bool {
+		rows := int(rRaw)%200 + 16
+		cols := int(cRaw)%200 + 16
+		var tiles []BankTile
+		var err error
+		if kt {
+			tiles, err = PartitionKT(rows, cols, l)
+		} else {
+			tiles, err = PartitionV(rows, cols, l)
+		}
+		if err != nil {
+			return false
+		}
+		return CoverageError(tiles, rows, cols) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: head assignment is a balanced partition for any sizes.
+func TestAssignHeadsProperty(t *testing.T) {
+	f := func(rlpRaw, headsRaw, devRaw uint8) bool {
+		rlp := int(rlpRaw)%16 + 1
+		heads := int(headsRaw)%96 + 1
+		devices := int(devRaw)%60 + 1
+		as, err := AssignHeads(rlp, heads, devices)
+		if err != nil || len(as) != rlp*heads {
+			return false
+		}
+		loads := DeviceLoads(as, devices)
+		min, max := loads[0], loads[0]
+		for _, l := range loads {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

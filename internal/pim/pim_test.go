@@ -1,0 +1,307 @@
+package pim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// gemv builds the FC kernel shape: weight bytes W streamed once, reused p
+// times (p = RLP×TLP), FPUs consume p×W bytes = p×W FLOPs.
+func gemv(w units.Bytes, p float64) Kernel {
+	return Kernel{Name: "fc", Class: ClassFC, Flops: units.FLOPs(p * float64(w)), UniqueBytes: w}
+}
+
+func TestNoWeightReuseRestreams(t *testing.T) {
+	// An attention-specialised device (no FC weight reuse) re-streams the
+	// weights once per token: FC time scales linearly with parallelism even
+	// below the compute roof, and DRAM energy scales with it too.
+	d := New(hbm.AttAccStack(), 30)
+	d.FCWeightReuse = false
+	d.Governor = false
+	d.KernelOverhead = 0
+	w := units.GB(100)
+	t1 := d.Execute(gemv(w, 1), 0)
+	t8 := d.Execute(gemv(w, 8), 0)
+	if r := float64(t8.Time) / float64(t1.Time); math.Abs(r-8) > 0.01 {
+		t.Fatalf("no-reuse FC time ratio = %.2f, want 8", r)
+	}
+	if r := float64(t8.Energy.DRAMAccess) / float64(t1.Energy.DRAMAccess); math.Abs(r-8) > 0.01 {
+		t.Fatalf("no-reuse DRAM energy ratio = %.2f, want 8", r)
+	}
+	// Attention kernels keep their reuse even on such devices.
+	attn := Kernel{Name: "attn", Class: ClassAttention, Flops: units.FLOPs(8 * float64(w)), UniqueBytes: w}
+	withReuse := d.Execute(attn, 0)
+	if withReuse.Energy.DRAMAccess != t1.Energy.DRAMAccess {
+		t.Fatalf("attention DRAM energy %v should match single-stream %v",
+			withReuse.Energy.DRAMAccess, t1.Energy.DRAMAccess)
+	}
+}
+
+func TestWeightReuseDeviceUnaffectedByFlag(t *testing.T) {
+	fc := New(hbm.FCPIMStack(), 30)
+	k := gemv(units.GB(100), 16)
+	res := fc.Execute(k, 0)
+	// With reuse, DRAM traffic is the unique weights only.
+	wantDRAM := 100e9 * fc.Energy.DRAMAccessPJB * 1e-12
+	if math.Abs(float64(res.Energy.DRAMAccess)-wantDRAM) > wantDRAM*1e-9 {
+		t.Fatalf("reuse-capable DRAM energy = %v, want %.4g", res.Energy.DRAMAccess, wantDRAM)
+	}
+}
+
+func TestEnergyBreakdownNoReuse(t *testing.T) {
+	// Fig. 7(a): with no data reuse DRAM access is 96.7 % of dynamic energy.
+	m := DefaultEnergyModel()
+	share := m.DRAMAccessPJB / (m.DRAMAccessPJB + m.TransferPJB + m.ComputePJB)
+	if math.Abs(share-0.967) > 0.005 {
+		t.Fatalf("no-reuse DRAM share = %.4f, want ≈0.967", share)
+	}
+}
+
+func TestEnergyBreakdownReuse64(t *testing.T) {
+	// Fig. 7(b): at reuse 64 DRAM access drops to ≈1/3 (paper: 33.1 %).
+	d := New(hbm.FCPIMStack(), 1)
+	k := gemv(units.GB(1), 64)
+	res := d.Execute(k, 1)
+	share := res.Energy.DRAMShare()
+	if share < 0.28 || share < 0.25 || share > 0.40 {
+		t.Fatalf("reuse-64 DRAM share = %.4f, want ≈0.31–0.33", share)
+	}
+}
+
+func TestFig7cPowerCurve(t *testing.T) {
+	// Fig. 7(c): demand power decreases with reuse; 1P1B slightly exceeds the
+	// 116 W budget at reuse 1; 4P1B needs reuse ≥ 4; 1P2B fits at reuse 1.
+	m := DefaultEnergyModel()
+	att := hbm.AttAccStack() // 1P1B
+	hp := hbm.HBMPIMStack()  // 1P2B
+	fc := hbm.FCPIMStack()   // 4P1B
+
+	if FitsBudget(att, m, 1) {
+		t.Errorf("1P1B at reuse 1 should exceed the 116 W budget (got %.1f W)", float64(DemandPower(att, m, 1)))
+	}
+	if !FitsBudget(hp, m, 1) {
+		t.Errorf("1P2B at reuse 1 should fit the budget (got %.1f W)", float64(DemandPower(hp, m, 1)))
+	}
+	if FitsBudget(fc, m, 1) || FitsBudget(fc, m, 2) {
+		t.Errorf("4P1B should exceed the budget below reuse 4 (r=1: %.1f W, r=2: %.1f W)",
+			float64(DemandPower(fc, m, 1)), float64(DemandPower(fc, m, 2)))
+	}
+	if !FitsBudget(fc, m, 4) {
+		t.Errorf("4P1B at reuse 4 should fit the budget (got %.1f W)", float64(DemandPower(fc, m, 4)))
+	}
+	if got := MinReuseWithinBudget(fc, m); got != 4 {
+		t.Errorf("4P1B minimum in-budget reuse = %v, want 4", got)
+	}
+	// Monotone decreasing in reuse.
+	prev := math.Inf(1)
+	for _, r := range []float64{1, 4, 16, 64} {
+		p := float64(DemandPower(fc, m, r))
+		if p >= prev {
+			t.Errorf("power not decreasing at reuse %v: %.1f >= %.1f", r, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestFCPIMRooflineCrossover(t *testing.T) {
+	// FC-PIM is balanced at reuse 4: memory-bound below, compute-bound above.
+	d := New(hbm.FCPIMStack(), 30)
+	w := units.GB(100)
+	low := d.Execute(gemv(w, 2), 0)
+	bal := d.Execute(gemv(w, 4), 0)
+	high := d.Execute(gemv(w, 8), 0)
+	if math.Abs(float64(low.Time)-float64(bal.Time)) > float64(bal.Time)*0.01 {
+		t.Errorf("below reuse 4 FC-PIM should be memory-bound: t(2)=%v t(4)=%v", low.Time, bal.Time)
+	}
+	if float64(high.Time) < float64(bal.Time)*1.9 {
+		t.Errorf("above reuse 4 FC-PIM should scale with compute: t(8)=%v t(4)=%v", high.Time, bal.Time)
+	}
+}
+
+func TestAttAccBalancedAtReuse1(t *testing.T) {
+	// 1P1B: one FPU per bank ⇒ compute and memory times are equal at reuse 1.
+	d := New(hbm.AttAccStack(), 30)
+	d.Governor = false
+	k := gemv(units.GB(100), 1)
+	computeT := float64(k.Flops) / float64(d.ComputeRate())
+	dramT := float64(k.UniqueBytes) / float64(d.StreamBW())
+	if math.Abs(computeT-dramT) > computeT*1e-9 {
+		t.Fatalf("1P1B compute %.4g s vs dram %.4g s, want equal", computeT, dramT)
+	}
+}
+
+func TestGovernorThrottlesAttAcc(t *testing.T) {
+	// AttAcc 1P1B at reuse 1 draws ~124 W per stack; the governor must
+	// stretch execution to hold 116 W.
+	d := New(hbm.AttAccStack(), 1)
+	k := gemv(units.GB(10), 1)
+	free := *d
+	free.Governor = false
+	unthrottled := free.Execute(k, 0)
+	governed := d.Execute(k, 0)
+	if !governed.Throttled {
+		t.Fatal("governor should throttle 1P1B at reuse 1")
+	}
+	if governed.Time <= unthrottled.Time {
+		t.Fatalf("throttled time %v should exceed free-running %v", governed.Time, unthrottled.Time)
+	}
+	if float64(governed.Power) > hbm.PowerBudgetW*1.001 {
+		t.Fatalf("governed power %.1f W exceeds budget", float64(governed.Power))
+	}
+}
+
+func TestHBMPIMHalfRate(t *testing.T) {
+	// 1P2B has half the FPUs of 1P1B: compute-bound kernels run 2× slower.
+	att := New(hbm.AttAccStack(), 60)
+	hp := New(hbm.HBMPIMStack(), 60)
+	att.Governor, hp.Governor = false, false
+	att.KernelOverhead, hp.KernelOverhead = 0, 0
+	k := gemv(units.GB(10), 4) // reuse 4 → compute-bound on both
+	ta := att.Execute(k, 0).Time
+	th := hp.Execute(k, 0).Time
+	ratio := float64(th) / float64(ta)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("1P2B/1P1B time ratio = %.3f, want 2.0", ratio)
+	}
+}
+
+func TestExecuteSubsetOfDevices(t *testing.T) {
+	d := New(hbm.HBMPIMStack(), 60)
+	d.KernelOverhead = 0
+	k := gemv(units.GB(10), 1)
+	all := d.Execute(k, 60)
+	half := d.Execute(k, 30)
+	if half.Devices != 30 || all.Devices != 60 {
+		t.Fatalf("devices = %d/%d", half.Devices, all.Devices)
+	}
+	if r := float64(half.Time) / float64(all.Time); math.Abs(r-2) > 0.01 {
+		t.Fatalf("half pool should be 2× slower, got %.3f", r)
+	}
+	// 0 and out-of-range mean "all".
+	if got := d.Execute(k, 0).Devices; got != 60 {
+		t.Fatalf("active=0 → %d devices, want 60", got)
+	}
+	if got := d.Execute(k, 100).Devices; got != 60 {
+		t.Fatalf("active=100 → %d devices, want 60", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(hbm.FCPIMStack(), 30).Validate(); err != nil {
+		t.Fatalf("valid pool rejected: %v", err)
+	}
+	if err := New(hbm.FCPIMStack(), 0).Validate(); err == nil {
+		t.Fatal("zero-count pool should fail")
+	}
+	if err := New(hbm.PlainStack(), 30).Validate(); err == nil {
+		t.Fatal("plain (no-FPU) stack should fail validation as a PIM executor")
+	}
+}
+
+func TestKernelReuse(t *testing.T) {
+	if got := gemv(units.GB(1), 16).Reuse(); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("reuse = %v, want 16", got)
+	}
+	// Degenerate kernels clamp to 1.
+	if got := (Kernel{Flops: 1, UniqueBytes: 0}).Reuse(); got != 1 {
+		t.Fatalf("zero-bytes reuse = %v, want 1", got)
+	}
+	if got := (Kernel{Flops: 1, UniqueBytes: 100}).Reuse(); got != 1 {
+		t.Fatalf("sub-unity reuse should clamp to 1, got %v", got)
+	}
+}
+
+func TestAggregateRates(t *testing.T) {
+	d := New(hbm.FCPIMStack(), 30)
+	// 30 × 3072 FPUs × 2.664 GF = 245.5 TFLOP/s.
+	wantCompute := 30 * 3072 * 2.664e9
+	if got := float64(d.ComputeRate()); math.Abs(got-wantCompute) > wantCompute*1e-9 {
+		t.Fatalf("compute rate = %v, want %.4g", d.ComputeRate(), wantCompute)
+	}
+	// 30 × 768 banks × 2.664 GB/s = 61.4 TB/s.
+	wantBW := 30 * 768 * 2.664e9
+	if got := float64(d.StreamBW()); math.Abs(got-wantBW) > wantBW*1e-9 {
+		t.Fatalf("stream bw = %v, want %.4g", d.StreamBW(), wantBW)
+	}
+	// 30 × 12 GiB = 360 GiB.
+	if got := float64(d.Capacity()) / units.GiB; math.Abs(got-360) > 1e-9 {
+		t.Fatalf("capacity = %v GiB, want 360", got)
+	}
+}
+
+func TestDetailedAgreesWithAnalytic(t *testing.T) {
+	// The analytic roofline must agree with the command-level DRAM path
+	// within 15 % for a memory-bound stream.
+	d := New(hbm.AttAccStack(), 1)
+	d.Governor = false
+	k := gemv(units.Bytes(64*units.MiB), 1)
+	a := d.Execute(k, 1)
+	det := d.ExecuteDetailed(k, 1)
+	ratio := float64(det.Time) / float64(a.Time)
+	if ratio < 0.85 || ratio > 1.20 {
+		t.Fatalf("detailed/analytic time ratio = %.3f (detailed %v, analytic %v)", ratio, det.Time, a.Time)
+	}
+	eRatio := float64(det.Energy.DRAMAccess) / float64(a.Energy.DRAMAccess)
+	if eRatio < 0.85 || eRatio > 1.20 {
+		t.Fatalf("detailed/analytic DRAM energy ratio = %.3f", eRatio)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{DRAMAccess: 1, Transfer: 2, Compute: 3, Static: 4}
+	if b.Total() != 10 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.DRAMShare() != 1.0/6 {
+		t.Fatalf("dram share = %v", b.DRAMShare())
+	}
+	var zero Breakdown
+	if zero.DRAMShare() != 0 {
+		t.Fatalf("zero breakdown share = %v", zero.DRAMShare())
+	}
+}
+
+// Property: execution time is monotone non-decreasing in both flops and
+// unique bytes, and energy components are non-negative.
+func TestExecuteMonotoneProperty(t *testing.T) {
+	d := New(hbm.FCPIMStack(), 4)
+	f := func(wRaw, pRaw uint16) bool {
+		w := units.Bytes(float64(wRaw)*1e6 + 1e6)
+		p := float64(pRaw%64) + 1
+		r1 := d.Execute(gemv(w, p), 0)
+		r2 := d.Execute(gemv(w*2, p), 0)
+		r3 := d.Execute(gemv(w, p+1), 0)
+		if r1.Energy.DRAMAccess < 0 || r1.Energy.Transfer < 0 || r1.Energy.Compute < 0 || r1.Energy.Static < 0 {
+			return false
+		}
+		return r2.Time >= r1.Time && r3.Time >= r1.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the governor never reports power above budget and never reduces
+// execution time.
+func TestGovernorProperty(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := float64(pRaw%16) + 1
+		gov := New(hbm.FCPIMStack(), 2)
+		free := New(hbm.FCPIMStack(), 2)
+		free.Governor = false
+		k := gemv(units.GB(1), p)
+		g := gov.Execute(k, 0)
+		f0 := free.Execute(k, 0)
+		if float64(g.Power) > hbm.PowerBudgetW*2+1e-9 { // budget × 2 devices
+			return false
+		}
+		return g.Time >= f0.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package sched implements PAPI's dynamic parallelism-aware task scheduling
+// (§5): the RLP×TLP arithmetic-intensity estimator, the memory-boundedness
+// threshold α, initial and runtime token-level scheduling with <|eos|>
+// counting, the TLP register, and the offline α calibration procedure.
+//
+// It also provides the static placement policies of the baselines
+// (A100+AttAcc, A100+HBM-PIM, AttAcc-only), so the serving engine is
+// parameterised over a single Policy interface.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/gpu"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/pim"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Placement says where an FC kernel executes. Attention kernels are always
+// memory-bound (§4.1) and run on the attention PIM devices in every design,
+// so only FC placement is a scheduling decision.
+type Placement int
+
+// FC kernel placements.
+const (
+	// PlacePU runs FC on the high-performance processor's processing units
+	// (the GPU tensor cores in our evaluation).
+	PlacePU Placement = iota
+	// PlaceFCPIM runs FC on the FC-PIM devices.
+	PlaceFCPIM
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlaceFCPIM {
+		return "FC-PIM"
+	}
+	return "PU"
+}
+
+// Policy decides FC placement from the current parallelism.
+type Policy interface {
+	Name() string
+	PlaceFC(rlp, tlp int) Placement
+}
+
+// Static policies ------------------------------------------------------------
+
+type staticPolicy struct {
+	name  string
+	place Placement
+}
+
+func (s staticPolicy) Name() string               { return s.name }
+func (s staticPolicy) PlaceFC(_, _ int) Placement { return s.place }
+
+// AlwaysPU returns the AttAcc-style static policy: FC on the GPU, always.
+func AlwaysPU() Policy { return staticPolicy{name: "static-pu", place: PlacePU} }
+
+// AlwaysPIM returns the PIM-only static policy (AttAcc-only, IANUS): FC on
+// PIM, always.
+func AlwaysPIM() Policy { return staticPolicy{name: "static-pim", place: PlaceFCPIM} }
+
+// Dynamic policy --------------------------------------------------------------
+
+// Dynamic is PAPI's parallelism-aware policy: estimate AI as RLP×TLP (Eq. 2)
+// and compare against the calibrated threshold α (§5.2).
+type Dynamic struct {
+	// Alpha is the memory-boundedness threshold: estimated AI ≥ Alpha means
+	// compute-bound, so FC goes to the PUs; below it FC goes to FC-PIM.
+	Alpha float64
+}
+
+// Name implements Policy.
+func (d Dynamic) Name() string { return "papi-dynamic" }
+
+// PlaceFC implements Policy using the Eq. (2) estimator.
+func (d Dynamic) PlaceFC(rlp, tlp int) Placement {
+	if model.EstimatedAI(rlp, tlp) >= d.Alpha {
+		return PlacePU
+	}
+	return PlaceFCPIM
+}
+
+// Runtime scheduler ------------------------------------------------------------
+
+// Event records one scheduling step, for traces like Fig. 5(d).
+type Event struct {
+	Iteration   int
+	RLP, TLP    int
+	EstimatedAI float64
+	Placement   Placement
+	Rescheduled bool // placement changed versus the previous iteration
+}
+
+// Scheduler is the runtime incarnation of §5.2: it owns the RLP counter
+// (updated by counting <|eos|> tokens after each decoding), the TLP register
+// (written by the host CPU), and emits a placement per iteration.
+type Scheduler struct {
+	policy Policy
+
+	rlp int
+	tlp int
+
+	iteration   int
+	last        Placement
+	hasLast     bool
+	reschedules int
+	trace       []Event
+	traceCap    int
+}
+
+// NewScheduler builds a runtime scheduler around a policy with the initial
+// parallelism configuration (the "initial scheduling" step of §5.2.1:
+// RLP = batch size, TLP = system speculation length).
+func NewScheduler(p Policy, rlp, tlp int) (*Scheduler, error) {
+	if rlp <= 0 || tlp <= 0 {
+		return nil, fmt.Errorf("sched: initial RLP %d / TLP %d must be positive", rlp, tlp)
+	}
+	return &Scheduler{policy: p, rlp: rlp, tlp: tlp, traceCap: 4096}, nil
+}
+
+// RLP returns the current request-level parallelism.
+func (s *Scheduler) RLP() int { return s.rlp }
+
+// TLP returns the current token-level parallelism.
+func (s *Scheduler) TLP() int { return s.tlp }
+
+// Reschedules returns how many placement changes have occurred.
+func (s *Scheduler) Reschedules() int { return s.reschedules }
+
+// Trace returns the recorded scheduling events (capped).
+func (s *Scheduler) Trace() []Event { return s.trace }
+
+// SetTLP models the host CPU writing the dedicated TLP register (§5.2.2).
+func (s *Scheduler) SetTLP(tlp int) error {
+	if tlp <= 0 {
+		return fmt.Errorf("sched: TLP %d must be positive", tlp)
+	}
+	s.tlp = tlp
+	return nil
+}
+
+// ObserveEOS counts <|eos|> tokens in the gathered output vector of the last
+// decoding iteration and releases the corresponding RLP (§5.2.2 steps 1–2).
+func (s *Scheduler) ObserveEOS(count int) error {
+	if count < 0 {
+		return fmt.Errorf("sched: negative eos count %d", count)
+	}
+	if count > s.rlp {
+		return fmt.Errorf("sched: eos count %d exceeds RLP %d", count, s.rlp)
+	}
+	s.rlp -= count
+	return nil
+}
+
+// AdmitRequests raises RLP when new requests join the running batch (mixed
+// continuous batching).
+func (s *Scheduler) AdmitRequests(count int) error {
+	if count < 0 {
+		return fmt.Errorf("sched: negative admit count %d", count)
+	}
+	s.rlp += count
+	return nil
+}
+
+// Decide performs §5.2.2 steps 3–4: predict the next iteration's arithmetic
+// intensity from RLP×TLP and choose the FC placement, recording whether this
+// is a reschedule.
+func (s *Scheduler) Decide() Event {
+	p := s.policy.PlaceFC(s.rlp, s.tlp)
+	ev := Event{
+		Iteration:   s.iteration,
+		RLP:         s.rlp,
+		TLP:         s.tlp,
+		EstimatedAI: model.EstimatedAI(s.rlp, s.tlp),
+		Placement:   p,
+	}
+	if s.hasLast && p != s.last {
+		ev.Rescheduled = true
+		s.reschedules++
+	}
+	s.last, s.hasLast = p, true
+	s.iteration++
+	if len(s.trace) < s.traceCap {
+		s.trace = append(s.trace, ev)
+	}
+	return ev
+}
+
+// Offline α calibration --------------------------------------------------------
+
+// Calibrate determines the memory-boundedness threshold α by offline
+// iterative evaluation (§5.2.1): run the FC kernel of one decoding iteration
+// on both the PUs and the FC-PIM units across parallelism levels and return
+// the smallest RLP×TLP at which the PUs win.
+func Calibrate(cfg model.Config, node *gpu.Node, fcpim *pim.Device) float64 {
+	for p := 1; p <= 4096; p++ {
+		k := cfg.FCIterationKernel(p)
+		gpuT := node.Execute(k.Flops, k.WeightBytes+k.ActivationBytes).Time
+		pimT := fcpim.Execute(pim.Kernel{
+			Name:        "fc",
+			Flops:       k.Flops,
+			UniqueBytes: k.WeightBytes,
+		}, 0).Time
+		if gpuT < pimT {
+			return float64(p)
+		}
+	}
+	return 4096
+}
+
+// CalibrationTable reports the per-parallelism execution times used to pick
+// α; cmd/papicalib prints it.
+type CalibrationRow struct {
+	Parallelism int
+	GPUTime     units.Seconds
+	PIMTime     units.Seconds
+	Winner      Placement
+}
+
+// CalibrationSweep evaluates both targets over the given parallelism levels.
+func CalibrationSweep(cfg model.Config, node *gpu.Node, fcpim *pim.Device, levels []int) []CalibrationRow {
+	rows := make([]CalibrationRow, 0, len(levels))
+	for _, p := range levels {
+		k := cfg.FCIterationKernel(p)
+		gpuT := node.Execute(k.Flops, k.WeightBytes+k.ActivationBytes).Time
+		pimT := fcpim.Execute(pim.Kernel{Name: "fc", Flops: k.Flops, UniqueBytes: k.WeightBytes}, 0).Time
+		w := PlaceFCPIM
+		if gpuT < pimT {
+			w = PlacePU
+		}
+		rows = append(rows, CalibrationRow{Parallelism: p, GPUTime: gpuT, PIMTime: pimT, Winner: w})
+	}
+	return rows
+}
+
+// Decision cost (§8) ------------------------------------------------------------
+
+// CostedPolicy is a Policy whose placement decision itself takes time. PAPI's
+// RLP×TLP predictor is effectively free; prior work's search-based schedulers
+// are not (SpecPIM's allocation runs 50 rounds of a genetic algorithm plus
+// 10,000 MCTS leaf searches — practical offline, prohibitive per-iteration).
+type CostedPolicy interface {
+	Policy
+	DecisionCost() units.Seconds
+}
+
+// Costed wraps a policy with a fixed per-decision latency so the serving
+// engine can charge scheduling overhead on the critical path.
+type Costed struct {
+	Policy
+	Cost units.Seconds
+}
+
+// DecisionCost implements CostedPolicy.
+func (c Costed) DecisionCost() units.Seconds { return c.Cost }
+
+// Name qualifies the wrapped policy's name.
+func (c Costed) Name() string { return c.Policy.Name() + "+cost" }

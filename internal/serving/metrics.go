@@ -1,0 +1,79 @@
+package serving
+
+import (
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// RequestMetrics records one request's latency experience — the quantities
+// online serving SLOs are written against (§3.2(a)).
+type RequestMetrics struct {
+	ID int
+	// TTFT is time to first token: from run start (static batching) or from
+	// the request's arrival (continuous batching) to the end of the
+	// iteration that committed its first output token. Prefill is included.
+	TTFT units.Seconds
+	// TPOT is the mean time per output token after the first.
+	TPOT units.Seconds
+	// Completion is when the request finished, on the same clock as TTFT.
+	Completion units.Seconds
+	// OutputTokens is the number of tokens the request produced.
+	OutputTokens int
+}
+
+// SLOAttainment returns the fraction of requests whose TPOT meets the SLO.
+func SLOAttainment(reqs []RequestMetrics, slo workload.SLO) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, r := range reqs {
+		if slo.Met(r.TPOT) {
+			met++
+		}
+	}
+	return float64(met) / float64(len(reqs))
+}
+
+// metricsTracker accumulates per-request timings during a run.
+type metricsTracker struct {
+	byID map[int]*RequestMetrics
+}
+
+func newMetricsTracker() *metricsTracker {
+	return &metricsTracker{byID: make(map[int]*RequestMetrics)}
+}
+
+// observe records one iteration's outcome for a request: committed tokens at
+// the iteration ending at clock, measured against the request's start epoch.
+func (m *metricsTracker) observe(r *request, committed int, clock, epoch units.Seconds) {
+	if committed <= 0 {
+		return
+	}
+	rm, ok := m.byID[r.ID]
+	if !ok {
+		rm = &RequestMetrics{ID: r.ID, TTFT: clock - epoch}
+		m.byID[r.ID] = rm
+	}
+	rm.OutputTokens += committed
+	rm.Completion = clock - epoch
+}
+
+// finalize computes TPOTs and returns the metrics in request-ID order
+// matching the input order given.
+func (m *metricsTracker) finalize(order []workload.Request) []RequestMetrics {
+	out := make([]RequestMetrics, 0, len(order))
+	for _, req := range order {
+		rm, ok := m.byID[req.ID]
+		if !ok {
+			continue
+		}
+		if rm.OutputTokens > 1 {
+			rm.TPOT = (rm.Completion - rm.TTFT) / units.Seconds(rm.OutputTokens-1)
+		} else {
+			rm.TPOT = rm.TTFT
+		}
+		out = append(out, *rm)
+	}
+	return out
+}

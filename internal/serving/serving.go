@@ -1,0 +1,451 @@
+// Package serving simulates end-to-end LLM inference on the evaluated
+// systems: the prefill phase, iteration-by-iteration parallel decoding with
+// batching and speculative decoding (§2), dynamic RLP decay as requests
+// finish (§3.2, Fig. 3), per-iteration FC placement by the system's
+// scheduling policy (§5), and full time/energy accounting with the
+// FC / attention / communication / other breakdown of Fig. 12.
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/energy"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/pim"
+	"github.com/papi-sim/papi/internal/sched"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// Options configures a serving run.
+type Options struct {
+	// TLP is the speculation length (token-level parallelism); 1 disables
+	// speculative decoding.
+	TLP int
+	// AcceptanceRate is the per-token probability that the target model
+	// accepts a draft token (β).
+	AcceptanceRate float64
+	// Draft is the draft model; nil selects a small default when TLP > 1.
+	// The paper does not name its draft model; we default to an OPT-125M
+	// class draft for every target so results are comparable across models.
+	Draft *model.Config
+	// DraftOverlap is the fraction of draft-model time hidden under the
+	// previous iteration's verification (pipelined drafting).
+	DraftOverlap float64
+	// OtherPerIteration charges fixed per-iteration work: sampling, token
+	// gathering, embedding lookups.
+	OtherPerIteration units.Seconds
+	// Seed drives the acceptance sampling.
+	Seed int64
+}
+
+// DefaultOptions returns the configuration used by the figure reproductions.
+func DefaultOptions(tlp int) Options {
+	return Options{
+		TLP:               tlp,
+		AcceptanceRate:    0.8,
+		DraftOverlap:      0.75,
+		OtherPerIteration: units.Microseconds(120),
+		Seed:              1,
+	}
+}
+
+func (o Options) validate() error {
+	if o.TLP < 1 {
+		return fmt.Errorf("serving: TLP %d must be ≥ 1", o.TLP)
+	}
+	if o.AcceptanceRate < 0 || o.AcceptanceRate > 1 {
+		return fmt.Errorf("serving: acceptance rate %v outside [0,1]", o.AcceptanceRate)
+	}
+	if o.DraftOverlap < 0 || o.DraftOverlap > 1 {
+		return fmt.Errorf("serving: draft overlap %v outside [0,1]", o.DraftOverlap)
+	}
+	return nil
+}
+
+// TimeBreakdown splits decode time by phase (Fig. 12).
+type TimeBreakdown struct {
+	FC            units.Seconds
+	Attention     units.Seconds
+	Communication units.Seconds
+	Other         units.Seconds
+}
+
+// Total sums the phases.
+func (b TimeBreakdown) Total() units.Seconds {
+	return b.FC + b.Attention + b.Communication + b.Other
+}
+
+// IterationStat records one decoding iteration.
+type IterationStat struct {
+	Index     int
+	RLP       int
+	TLP       int
+	Placement sched.Placement
+	Time      units.Seconds
+	Tokens    int // tokens committed across the batch this iteration
+}
+
+// Result reports one batch's end-to-end execution.
+type Result struct {
+	System string
+	Model  string
+
+	PrefillTime units.Seconds
+	DecodeTime  units.Seconds
+	// IdleTime is time spent waiting for arrivals (continuous batching only).
+	IdleTime   units.Seconds
+	Iterations int
+	Tokens     int // output tokens generated
+
+	Breakdown   TimeBreakdown
+	Energy      energy.Ledger
+	Reschedules int
+	Throttled   bool
+
+	// RLPTrace is the request-level parallelism at each iteration (Fig. 3's
+	// decay); capped in length for very long runs.
+	RLPTrace []int
+	// PerRequestIterations is, per request, the number of decoding
+	// iterations it stayed active (Fig. 3's per-request view).
+	PerRequestIterations []int
+	// IterStats capture a capped per-iteration trace (Fig. 5(d) style).
+	IterStats []IterationStat
+	// Requests carries per-request latency metrics (TTFT, TPOT, completion).
+	Requests []RequestMetrics
+}
+
+// TotalTime returns the makespan: prefill, decode, and arrival gaps.
+func (r Result) TotalTime() units.Seconds { return r.PrefillTime + r.DecodeTime + r.IdleTime }
+
+// TimePerToken returns decode time per generated output token.
+func (r Result) TimePerToken() units.Seconds {
+	if r.Tokens == 0 {
+		return 0
+	}
+	return r.DecodeTime / units.Seconds(r.Tokens)
+}
+
+// Engine runs batches on one system/model pair.
+type Engine struct {
+	Sys *core.System
+	Cfg model.Config
+	Opt Options
+
+	draft model.Config
+	rng   *rand.Rand
+}
+
+// traceCap bounds the per-iteration traces kept in a Result.
+const traceCap = 4096
+
+// New validates and builds an engine.
+func New(sys *core.System, cfg model.Config, opt Options) (*Engine, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.FitsModel(cfg); err != nil {
+		return nil, err
+	}
+	e := &Engine{Sys: sys, Cfg: cfg, Opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	if opt.Draft != nil {
+		e.draft = *opt.Draft
+	} else {
+		e.draft = model.OPT125M()
+	}
+	if err := e.draft.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: draft model: %w", err)
+	}
+	return e, nil
+}
+
+// request tracks one in-flight request's decode progress.
+type request struct {
+	workload.Request
+	generated  int
+	iterations int
+	done       bool
+}
+
+// RunBatch executes one statically-batched inference: prefill for the whole
+// batch, then decode iterations until every request has produced its output
+// (requests finishing early shrink RLP, as in Fig. 3).
+func (e *Engine) RunBatch(reqs []workload.Request) (Result, error) {
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("serving: empty batch")
+	}
+	if err := e.checkKVCapacity(reqs); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{System: e.Sys.Name, Model: e.Cfg.Name}
+	active := make([]*request, len(reqs))
+	inputs := make([]int, len(reqs))
+	for i, r := range reqs {
+		if r.InputLen <= 0 || r.OutputLen <= 0 {
+			return Result{}, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
+		}
+		active[i] = &request{Request: r}
+		inputs[i] = r.InputLen
+	}
+
+	// Prefill (§2.1): all input tokens processed at once. Compute-bound, so
+	// it runs on the GPU where one exists; PIM-only designs pay for it on
+	// their PIM units (§7.4).
+	res.PrefillTime = e.runPrefill(inputs, &res)
+
+	scheduler, err := sched.NewScheduler(e.Sys.Policy, len(reqs), e.Opt.TLP)
+	if err != nil {
+		return Result{}, err
+	}
+	tracker := newMetricsTracker()
+
+	for {
+		live := live(active)
+		if len(live) == 0 {
+			break
+		}
+		ev := scheduler.Decide()
+		it := e.runIteration(live, ev, &res)
+		res.Iterations++
+		if len(res.RLPTrace) < traceCap {
+			res.RLPTrace = append(res.RLPTrace, len(live))
+		}
+		if len(res.IterStats) < traceCap {
+			res.IterStats = append(res.IterStats, it)
+		}
+
+		// Commit tokens and count <|eos|> (§5.2.2 steps 1–2).
+		clock := res.PrefillTime + res.DecodeTime
+		eos := 0
+		for _, r := range live {
+			committed := e.commitTokens(r)
+			res.Tokens += committed
+			tracker.observe(r, committed, clock, 0)
+			if r.done {
+				eos++
+			}
+		}
+		if err := scheduler.ObserveEOS(eos); err != nil {
+			return Result{}, err
+		}
+	}
+	res.Requests = tracker.finalize(reqs)
+
+	res.Reschedules = scheduler.Reschedules()
+	res.PerRequestIterations = make([]int, len(active))
+	for i, r := range active {
+		res.PerRequestIterations[i] = r.iterations
+	}
+	// Host CPU draws power for the whole run.
+	res.Energy.Add(energy.HostCPU, e.Sys.HostPower.Energy(res.TotalTime()))
+	return res, nil
+}
+
+// live filters unfinished requests.
+func live(all []*request) []*request {
+	out := all[:0:0]
+	for _, r := range all {
+		if !r.done {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// checkKVCapacity rejects batches whose worst-case KV footprint exceeds the
+// attention pool (§3.2(b)'s memory-capacity limit surfaces as a typed error).
+func (e *Engine) checkKVCapacity(reqs []workload.Request) error {
+	var need units.Bytes
+	for _, r := range reqs {
+		need += e.Cfg.KVBytes(r.SeqLen())
+	}
+	if cap := e.Sys.KVCapacity(); need > cap {
+		return fmt.Errorf("serving: batch KV footprint %v exceeds attention pool capacity %v", need, cap)
+	}
+	return nil
+}
+
+// runPrefill executes the prefill phase and charges its energy.
+func (e *Engine) runPrefill(inputs []int, res *Result) units.Seconds {
+	k := e.Cfg.PrefillWork(inputs)
+	if e.Sys.PrefillOnGPU {
+		g := e.Sys.GPU.Execute(k.Flops, k.WeightBytes)
+		res.Energy.Add(energy.GPUActive, g.Energy)
+		e.chargePIMIdle(g.Time, res)
+		return g.Time
+	}
+	p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "prefill", Class: pim.ClassFC, Flops: k.Flops, UniqueBytes: k.WeightBytes}, 0)
+	res.Throttled = res.Throttled || p.Throttled
+	res.Energy.Add(energy.FCPIM, p.Energy.Total())
+	return p.Time
+}
+
+// runIteration executes one decoding iteration for the live requests and
+// returns its stats. Iteration structure (per layer, serialised): FC(QKV) →
+// link to Attn-PIM → attention → link back → FC(projection+FFN); all-layer
+// work is aggregated into closed forms since layers are identical.
+func (e *Engine) runIteration(liveReqs []*request, ev sched.Event, res *Result) IterationStat {
+	rlp := len(liveReqs)
+	n := rlp * e.Opt.TLP
+	layers := float64(e.Cfg.Layers)
+
+	kvLens := make([]int, rlp)
+	for i, r := range liveReqs {
+		kvLens[i] = r.InputLen + r.generated
+	}
+
+	// --- FC phase (QKV + projection + FFN over all layers).
+	fcK := e.Cfg.FCIterationKernel(n)
+	var fcTime units.Seconds
+	gpuBusy := units.Seconds(0)
+	if ev.Placement == sched.PlacePU && e.Sys.HasGPU() {
+		g := e.Sys.GPU.Execute(fcK.Flops, fcK.WeightBytes+fcK.ActivationBytes)
+		// Three FC kernel launches per layer (QKV, projection, FFN);
+		// Execute charged one launch already.
+		fcTime = g.Time + units.Seconds(float64(e.Sys.GPU.Spec.LaunchLatency)*(3*layers-1))
+		gpuBusy = fcTime
+		res.Energy.Add(energy.GPUActive, g.Energy)
+	} else {
+		p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "fc", Class: pim.ClassFC, Flops: fcK.Flops, UniqueBytes: fcK.WeightBytes}, 0)
+		res.Throttled = res.Throttled || p.Throttled
+		fcTime = p.Time + units.Seconds(float64(e.Sys.FCPIM.KernelOverhead)*(3*layers-1))
+		res.Energy.Add(energy.FCPIM, p.Energy.Total())
+		// Activations cross the PU fabric to reach the FC-PIM stacks.
+		tr := e.Sys.PULink.Send(units.Bytes(float64(fcK.ActivationBytes) / layers))
+		fcTime += units.Seconds(float64(tr.Time) * layers)
+		res.Energy.Add(energy.Interconnect, units.Joules(float64(tr.Energy)*layers))
+	}
+
+	// --- Attention phase on the attention PIM pool (always).
+	attnLayer := e.Cfg.AttentionKernel(e.Opt.TLP, kvLens)
+	attnAll := pim.Kernel{
+		Name:        "attention",
+		Class:       pim.ClassAttention,
+		Flops:       units.FLOPs(float64(attnLayer.Flops) * layers),
+		UniqueBytes: units.Bytes(float64(attnLayer.KVBytes) * layers),
+	}
+	activeDev := rlp * e.Cfg.Heads
+	if activeDev > e.Sys.AttnPIM.Count {
+		activeDev = e.Sys.AttnPIM.Count
+	}
+	a := e.Sys.AttnPIM.Execute(attnAll, activeDev)
+	res.Throttled = res.Throttled || a.Throttled
+	attnTime := a.Time + units.Seconds(float64(e.Sys.AttnPIM.KernelOverhead)*(layers-1))
+	res.Energy.Add(energy.AttnPIM, a.Energy.Total())
+
+	// --- Communication: per layer, Q/K/V vectors to the disaggregated
+	// attention devices and the context back (§6.3's byte-level traffic).
+	tr := e.Sys.AttnLink.Send(attnLayer.ActivationBytes)
+	commTime := units.Seconds(float64(tr.Time) * layers)
+	res.Energy.Add(energy.Interconnect, units.Joules(float64(tr.Energy)*layers))
+
+	// --- Other: draft-model drafting (§2.2.2) plus sampling/gather.
+	otherTime := e.Opt.OtherPerIteration
+	// Search-based placement policies pay their decision latency on the
+	// critical path (§8's SpecPIM argument); PAPI's predictor is free.
+	if cp, ok := e.Sys.Policy.(sched.CostedPolicy); ok {
+		otherTime += cp.DecisionCost()
+	}
+	if e.Opt.TLP > 1 {
+		otherTime += e.draftCost(res)
+	}
+
+	iterTime := fcTime + attnTime + commTime + otherTime
+
+	// Idle energy: GPUs idle whenever they are not running FC; PIM pools
+	// draw standby power across the whole iteration outside their busy window.
+	if e.Sys.HasGPU() {
+		if idle := iterTime - gpuBusy; idle > 0 {
+			res.Energy.Add(energy.GPUIdle, e.Sys.GPU.IdleEnergy(idle))
+		}
+	}
+	e.chargePIMStandby(iterTime, fcTime, attnTime, res)
+
+	res.DecodeTime += iterTime
+	res.Breakdown.FC += fcTime
+	res.Breakdown.Attention += attnTime
+	res.Breakdown.Communication += commTime
+	res.Breakdown.Other += otherTime
+
+	return IterationStat{
+		Index:     ev.Iteration,
+		RLP:       rlp,
+		TLP:       e.Opt.TLP,
+		Placement: ev.Placement,
+		Time:      iterTime,
+		Tokens:    0, // filled by the caller after commit
+	}
+}
+
+// draftCost returns the visible (non-overlapped) draft-model time for one
+// iteration and charges its energy to whichever engine runs it.
+func (e *Engine) draftCost(res *Result) units.Seconds {
+	k := e.draft.FCIterationKernel(1)
+	var per units.Seconds
+	if e.Sys.HasGPU() {
+		g := e.Sys.GPU.Execute(k.Flops, k.WeightBytes)
+		per = g.Time
+		res.Energy.Add(energy.GPUActive, g.Energy)
+	} else {
+		p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "draft", Class: pim.ClassFC, Flops: k.Flops, UniqueBytes: k.WeightBytes}, 0)
+		per = p.Time
+		res.Energy.Add(energy.FCPIM, p.Energy.Total())
+	}
+	serial := float64(per) * float64(e.Opt.TLP)
+	return units.Seconds(serial * (1 - e.Opt.DraftOverlap))
+}
+
+// chargePIMIdle charges standby power on all PIM pools for span (used during
+// prefill, when PIM is idle).
+func (e *Engine) chargePIMIdle(span units.Seconds, res *Result) {
+	if e.Sys.FCPIM != nil {
+		res.Energy.Add(energy.FCPIM, standby(e.Sys.FCPIM, span))
+	}
+	res.Energy.Add(energy.AttnPIM, standby(e.Sys.AttnPIM, span))
+}
+
+// chargePIMStandby charges PIM standby power outside each pool's busy window.
+func (e *Engine) chargePIMStandby(iter, fcBusy, attnBusy units.Seconds, res *Result) {
+	if e.Sys.FCPIM != nil {
+		if idle := iter - fcBusy; idle > 0 {
+			res.Energy.Add(energy.FCPIM, standby(e.Sys.FCPIM, idle))
+		}
+	}
+	if idle := iter - attnBusy; idle > 0 {
+		res.Energy.Add(energy.AttnPIM, standby(e.Sys.AttnPIM, idle))
+	}
+}
+
+func standby(d *pim.Device, span units.Seconds) units.Joules {
+	return units.Joules(float64(d.Energy.StaticW) * float64(d.Count) * float64(span))
+}
+
+// commitTokens applies one iteration's outcome to a request: with TLP = 1 a
+// single token; with speculation, a prefix of the TLP drafted tokens whose
+// length follows the per-token acceptance chain (§2.2.2). Returns the number
+// of output tokens committed.
+func (e *Engine) commitTokens(r *request) int {
+	r.iterations++
+	committed := 1
+	for committed < e.Opt.TLP && e.rng.Float64() < e.Opt.AcceptanceRate {
+		committed++
+	}
+	remaining := r.OutputLen - r.generated
+	if committed > remaining {
+		committed = remaining
+	}
+	r.generated += committed
+	if r.generated >= r.OutputLen {
+		r.done = true
+	}
+	return committed
+}

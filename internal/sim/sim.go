@@ -1,0 +1,133 @@
+// Package sim provides a small discrete-event simulation kernel: a clock and
+// an event queue with deterministic ordering.
+//
+// The command-level DRAM simulator (internal/dram) is built on this kernel.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes simulations reproducible run-to-run — a property the
+// test suite relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func(now units.Seconds)
+
+type item struct {
+	at    units.Seconds
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    Event
+	index int
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine owns the simulated clock and the pending event set.
+// The zero value is ready to use.
+type Engine struct {
+	now    units.Seconds
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past is
+// a programming error and panics: it would silently reorder causality.
+func (e *Engine) At(t units.Seconds, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (e *Engine) After(d units.Seconds, fn Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(*item)
+	e.now = it.at
+	e.fired++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() units.Seconds {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if the queue still holds later events).
+func (e *Engine) RunUntil(deadline units.Seconds) units.Seconds {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunSteps executes at most n events; it returns the number executed.
+func (e *Engine) RunSteps(n int) int {
+	done := 0
+	for done < n && e.Step() {
+		done++
+	}
+	return done
+}

@@ -1,0 +1,143 @@
+// Package workload generates the request streams that drive the serving
+// simulator.
+//
+// The paper evaluates on the Dolly dataset's creative-writing and general-qa
+// categories (§7.1), which it uses purely for their input/output length
+// distributions: lengths determine KV-cache footprints, decode iteration
+// counts, and — through requests finishing at different times — the dynamic
+// RLP decay of Fig. 3. The dataset itself is not redistributable here
+// (offline build), so this package synthesises requests from seeded
+// log-normal length distributions whose medians and spreads match the
+// published Dolly statistics: creative-writing responses are several times
+// longer than general-qa answers. DESIGN.md §1 records this substitution.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Request is one inference request.
+type Request struct {
+	ID        int
+	InputLen  int           // prompt tokens
+	OutputLen int           // tokens the model will generate (incl. <|eos|>)
+	Arrival   units.Seconds // arrival time for continuous-batching scenarios
+}
+
+// SeqLen returns the final sequence length (KV footprint driver).
+func (r Request) SeqLen() int { return r.InputLen + r.OutputLen }
+
+// LengthDist is a clamped log-normal over token counts.
+type LengthDist struct {
+	Median float64
+	Sigma  float64
+	Min    int
+	Max    int
+}
+
+// Sample draws one length.
+func (d LengthDist) Sample(rng *rand.Rand) int {
+	v := math.Exp(math.Log(d.Median) + d.Sigma*rng.NormFloat64())
+	n := int(math.Round(v))
+	if n < d.Min {
+		n = d.Min
+	}
+	if n > d.Max {
+		n = d.Max
+	}
+	return n
+}
+
+// Mean returns the distribution's mean before clamping (log-normal moment).
+func (d LengthDist) Mean() float64 {
+	return d.Median * math.Exp(d.Sigma*d.Sigma/2)
+}
+
+// Dataset is a named pair of length distributions.
+type Dataset struct {
+	Name   string
+	Input  LengthDist
+	Output LengthDist
+}
+
+// CreativeWriting returns the Dolly creative-writing-like workload: prompts
+// are short, responses long (the category the paper highlights for its long
+// outputs and strong RLP dynamics).
+func CreativeWriting() Dataset {
+	return Dataset{
+		Name:   "creative-writing",
+		Input:  LengthDist{Median: 64, Sigma: 0.6, Min: 8, Max: 512},
+		Output: LengthDist{Median: 384, Sigma: 0.6, Min: 32, Max: 1792},
+	}
+}
+
+// GeneralQA returns the Dolly general-qa-like workload: short questions,
+// short answers.
+func GeneralQA() Dataset {
+	return Dataset{
+		Name:   "general-qa",
+		Input:  LengthDist{Median: 48, Sigma: 0.7, Min: 4, Max: 384},
+		Output: LengthDist{Median: 96, Sigma: 0.7, Min: 8, Max: 640},
+	}
+}
+
+// ByName resolves a dataset by name.
+func ByName(name string) (Dataset, error) {
+	switch name {
+	case "creative-writing":
+		return CreativeWriting(), nil
+	case "general-qa":
+		return GeneralQA(), nil
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Generate draws n requests deterministically from the seed. Arrivals are
+// zero (a ready batch); use Poisson for online-arrival scenarios.
+func (d Dataset) Generate(n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:        i,
+			InputLen:  d.Input.Sample(rng),
+			OutputLen: d.Output.Sample(rng),
+		}
+	}
+	return reqs
+}
+
+// Poisson draws n requests with exponential inter-arrival gaps at the given
+// mean rate (requests/second), for dynamic-batching scenarios (§3.2(c)).
+func (d Dataset) Poisson(n int, ratePerSec float64, seed int64) []Request {
+	if ratePerSec <= 0 {
+		return d.Generate(n, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / ratePerSec
+		reqs[i] = Request{
+			ID:        i,
+			InputLen:  d.Input.Sample(rng),
+			OutputLen: d.Output.Sample(rng),
+			Arrival:   units.Seconds(t),
+		}
+	}
+	return reqs
+}
+
+// SLO captures a per-token latency service-level objective (§3.2(a)).
+type SLO struct {
+	TokenLatency units.Seconds // time-per-output-token bound
+}
+
+// Met reports whether an observed per-token latency satisfies the SLO.
+func (s SLO) Met(perToken units.Seconds) bool {
+	return s.TokenLatency <= 0 || perToken <= s.TokenLatency
+}

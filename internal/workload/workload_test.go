@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := CreativeWriting().Generate(100, 42)
+	b := CreativeWriting().Generate(100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := CreativeWriting().Generate(100, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical requests")
+	}
+}
+
+func TestLengthBounds(t *testing.T) {
+	for _, d := range []Dataset{CreativeWriting(), GeneralQA()} {
+		for _, r := range d.Generate(2000, 7) {
+			if r.InputLen < d.Input.Min || r.InputLen > d.Input.Max {
+				t.Fatalf("%s: input %d out of [%d,%d]", d.Name, r.InputLen, d.Input.Min, d.Input.Max)
+			}
+			if r.OutputLen < d.Output.Min || r.OutputLen > d.Output.Max {
+				t.Fatalf("%s: output %d out of [%d,%d]", d.Name, r.OutputLen, d.Output.Min, d.Output.Max)
+			}
+			if r.SeqLen() != r.InputLen+r.OutputLen {
+				t.Fatal("SeqLen arithmetic wrong")
+			}
+		}
+	}
+}
+
+func TestCreativeWritingLongerThanQA(t *testing.T) {
+	// §7.2: "the creative-writing dataset typically has longer output
+	// lengths" — the property behind PAPI's larger speedup there.
+	cw := CreativeWriting().Generate(3000, 11)
+	qa := GeneralQA().Generate(3000, 11)
+	mean := func(rs []Request) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += float64(r.OutputLen)
+		}
+		return s / float64(len(rs))
+	}
+	mcw, mqa := mean(cw), mean(qa)
+	if mcw < 2.5*mqa {
+		t.Fatalf("creative-writing outputs (%.0f) should be ≫ general-qa (%.0f)", mcw, mqa)
+	}
+}
+
+func TestOutputLengthSpread(t *testing.T) {
+	// Fig. 3 depends on requests in a batch having very different output
+	// lengths; the distribution must have real spread.
+	rs := CreativeWriting().Generate(1000, 3)
+	min, max := rs[0].OutputLen, rs[0].OutputLen
+	for _, r := range rs {
+		if r.OutputLen < min {
+			min = r.OutputLen
+		}
+		if r.OutputLen > max {
+			max = r.OutputLen
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("output spread too small: [%d, %d]", min, max)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d, err := ByName("creative-writing"); err != nil || d.Name != "creative-writing" {
+		t.Fatalf("ByName: %v %v", d, err)
+	}
+	if d, err := ByName("general-qa"); err != nil || d.Name != "general-qa" {
+		t.Fatalf("ByName: %v %v", d, err)
+	}
+	if _, err := ByName("imagenet"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rs := GeneralQA().Poisson(500, 10, 5)
+	prev := units.Seconds(0)
+	for _, r := range rs {
+		if r.Arrival < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		prev = r.Arrival
+	}
+	// Mean inter-arrival ≈ 1/rate.
+	meanGap := float64(rs[len(rs)-1].Arrival) / float64(len(rs))
+	if meanGap < 0.05 || meanGap > 0.2 {
+		t.Fatalf("mean inter-arrival %.3f s, want ≈0.1", meanGap)
+	}
+	// Zero rate degrades to a ready batch.
+	if batch := GeneralQA().Poisson(5, 0, 5); batch[4].Arrival != 0 {
+		t.Fatal("zero rate should yield zero arrivals")
+	}
+}
+
+func TestLengthDistMean(t *testing.T) {
+	d := LengthDist{Median: 100, Sigma: 0.5, Min: 1, Max: 1e9}
+	want := 100 * math.Exp(0.125)
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestSLO(t *testing.T) {
+	s := SLO{TokenLatency: units.Milliseconds(30)}
+	if !s.Met(units.Milliseconds(20)) {
+		t.Fatal("20ms should meet a 30ms SLO")
+	}
+	if s.Met(units.Milliseconds(40)) {
+		t.Fatal("40ms should violate a 30ms SLO")
+	}
+	if !(SLO{}).Met(units.Seconds(100)) {
+		t.Fatal("zero SLO means no bound")
+	}
+}
+
+// Property: samples always respect clamps, for arbitrary distributions.
+func TestSampleClampProperty(t *testing.T) {
+	f := func(medRaw, sigRaw uint8, seed int64) bool {
+		d := LengthDist{
+			Median: float64(medRaw) + 1,
+			Sigma:  float64(sigRaw) / 64,
+			Min:    4,
+			Max:    512,
+		}
+		ds := Dataset{Name: "t", Input: d, Output: d}
+		for _, r := range ds.Generate(50, seed) {
+			if r.InputLen < 4 || r.InputLen > 512 || r.OutputLen < 4 || r.OutputLen > 512 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

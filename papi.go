@@ -1,0 +1,195 @@
+// Package papi is a simulator of PAPI — "PAPI: Exploiting Dynamic Parallelism
+// in Large Language Model Decoding with a Processing-In-Memory-Enabled
+// Computing System" (ASPLOS 2025) — and of the systems it is evaluated
+// against.
+//
+// The package is a facade over the internal simulator packages. It exposes:
+//
+//   - the evaluated computing systems: PAPI (GPU + hybrid FC-PIM/Attn-PIM +
+//     dynamic parallelism-aware scheduler) and the baselines A100+AttAcc,
+//     A100+HBM-PIM, AttAcc-only, and PIM-only PAPI;
+//   - the evaluation LLMs (OPT-30B, LLaMA-65B, GPT-3 66B/175B) and the
+//     Dolly-like workload generators;
+//   - the serving engine (static and mixed continuous batching, speculative
+//     decoding) with full time and energy accounting;
+//   - every figure reproduction from the paper's evaluation section.
+//
+// Quick start:
+//
+//	sys := papi.NewPAPI()
+//	eng, err := papi.NewEngine(sys, papi.LLaMA65B(), papi.DefaultOptions(4))
+//	if err != nil { ... }
+//	res, err := eng.RunBatch(papi.CreativeWriting().Generate(16, 1))
+//	fmt.Println(res.TotalTime(), res.Energy.Total())
+package papi
+
+import (
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/pim"
+	"github.com/papi-sim/papi/internal/sched"
+	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// Systems (§4, §7.1).
+
+// System is one complete evaluated computing system.
+type System = core.System
+
+// NewPAPI builds the full PAPI system with the calibrated α threshold.
+func NewPAPI() *System { return core.NewPAPI(0) }
+
+// NewPAPIWithAlpha builds PAPI with a custom memory-boundedness threshold.
+func NewPAPIWithAlpha(alpha float64) *System { return core.NewPAPI(alpha) }
+
+// NewA100AttAcc builds the A100+AttAcc baseline.
+func NewA100AttAcc() *System { return core.NewA100AttAcc() }
+
+// NewA100HBMPIM builds the A100+HBM-PIM baseline.
+func NewA100HBMPIM() *System { return core.NewA100HBMPIM() }
+
+// NewAttAccOnly builds the PIM-only AttAcc baseline.
+func NewAttAccOnly() *System { return core.NewAttAccOnly() }
+
+// NewPIMOnlyPAPI builds the §7.4 GPU-less PAPI variant.
+func NewPIMOnlyPAPI() *System { return core.NewPIMOnlyPAPI() }
+
+// Designs returns the four systems of Fig. 8 in presentation order.
+func Designs() []*System { return core.Designs() }
+
+// SystemByName builds a system from its display name.
+func SystemByName(name string) (*System, error) { return core.ByName(name) }
+
+// DefaultAlpha is the calibrated scheduling threshold (§5.2.1).
+const DefaultAlpha = core.DefaultAlpha
+
+// Models (§7.1).
+
+// Model is one transformer LLM configuration.
+type Model = model.Config
+
+// OPT30B returns the OPT-30B configuration (the Fig. 2 roofline model).
+func OPT30B() Model { return model.OPT30B() }
+
+// LLaMA65B returns the LLaMA-65B configuration.
+func LLaMA65B() Model { return model.LLaMA65B() }
+
+// GPT3_66B returns the GPT-3 66B configuration.
+func GPT3_66B() Model { return model.GPT3_66B() }
+
+// GPT3_175B returns the GPT-3 175B configuration.
+func GPT3_175B() Model { return model.GPT3_175B() }
+
+// Models returns the evaluation models.
+func Models() []Model { return model.All() }
+
+// ModelByName resolves a model configuration by display name.
+func ModelByName(name string) (Model, error) { return model.ByName(name) }
+
+// Workloads (§7.1).
+
+// Request is one inference request.
+type Request = workload.Request
+
+// Dataset generates Dolly-like request streams.
+type Dataset = workload.Dataset
+
+// CreativeWriting returns the long-output workload.
+func CreativeWriting() Dataset { return workload.CreativeWriting() }
+
+// GeneralQA returns the short-answer workload.
+func GeneralQA() Dataset { return workload.GeneralQA() }
+
+// DatasetByName resolves a dataset by name.
+func DatasetByName(name string) (Dataset, error) { return workload.ByName(name) }
+
+// Serving.
+
+// Options configures a serving run (speculation length, acceptance rate,
+// draft model, seeds).
+type Options = serving.Options
+
+// Result reports one serving run: latency, energy ledger, phase breakdown,
+// RLP traces and scheduler activity.
+type Result = serving.Result
+
+// Engine runs inference batches on one system/model pair.
+type Engine = serving.Engine
+
+// DefaultOptions returns the evaluation defaults for a speculation length.
+func DefaultOptions(tlp int) Options { return serving.DefaultOptions(tlp) }
+
+// NewEngine validates and builds a serving engine.
+func NewEngine(sys *System, cfg Model, opt Options) (*Engine, error) {
+	return serving.New(sys, cfg, opt)
+}
+
+// Placement identifies where an FC kernel runs.
+type Placement = sched.Placement
+
+// FC kernel placements.
+const (
+	PlacePU    = sched.PlacePU
+	PlaceFCPIM = sched.PlaceFCPIM
+)
+
+// Seconds is the simulator's time quantity.
+type Seconds = units.Seconds
+
+// Kernel is one LLM kernel's shape (FLOPs, streamed weights/KV, activations).
+type Kernel = model.Kernel
+
+// MoE is a sparsely-activated Mixture-of-Experts model (§6.5).
+type MoE = model.MoE
+
+// Mixtral8x7BLike returns a Mixtral-8x7B-class MoE configuration.
+func Mixtral8x7BLike() MoE { return model.Mixtral8x7BLike() }
+
+// CompareFCPlacement executes one FC kernel shape on both of a system's FC
+// engines and returns the times — the §5.2.1 offline-calibration measurement
+// exposed for exploration. A missing engine yields an error.
+func CompareFCPlacement(sys *System, k Kernel) (pu, fcpim Seconds, err error) {
+	if sys.GPU == nil {
+		return 0, 0, fmt.Errorf("papi: %s has no processing units", sys.Name)
+	}
+	if sys.FCPIM == nil {
+		return 0, 0, fmt.Errorf("papi: %s has no FC-PIM devices", sys.Name)
+	}
+	pu = sys.GPU.Execute(k.Flops, k.WeightBytes+k.ActivationBytes).Time
+	fcpim = sys.FCPIM.Execute(pim.Kernel{
+		Name:        "fc",
+		Class:       pim.ClassFC,
+		Flops:       k.Flops,
+		UniqueBytes: k.WeightBytes,
+	}, 0).Time
+	return pu, fcpim, nil
+}
+
+// Simulate is the one-call convenience API: build the named design, generate
+// a batch from the named dataset, and run it.
+func Simulate(design, modelName, dataset string, batch, spec int, seed int64) (Result, error) {
+	sys, err := core.ByName(design)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return Result{}, err
+	}
+	ds, err := workload.ByName(dataset)
+	if err != nil {
+		return Result{}, err
+	}
+	if batch <= 0 {
+		return Result{}, fmt.Errorf("papi: batch %d must be positive", batch)
+	}
+	eng, err := serving.New(sys, cfg, serving.DefaultOptions(spec))
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.RunBatch(ds.Generate(batch, seed))
+}

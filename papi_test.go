@@ -1,0 +1,127 @@
+package papi
+
+import (
+	"testing"
+)
+
+func TestSimulate(t *testing.T) {
+	res, err := Simulate("PAPI", "LLaMA-65B", "creative-writing", 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens == 0 || res.TotalTime() <= 0 {
+		t.Fatalf("suspicious result: %+v", res)
+	}
+	if res.System != "PAPI" || res.Model != "LLaMA-65B" {
+		t.Fatalf("labels: %s / %s", res.System, res.Model)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate("TPU-pod", "LLaMA-65B", "creative-writing", 4, 1, 1); err == nil {
+		t.Error("unknown design should fail")
+	}
+	if _, err := Simulate("PAPI", "GPT-5", "creative-writing", 4, 1, 1); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, err := Simulate("PAPI", "LLaMA-65B", "imagenet", 4, 1, 1); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := Simulate("PAPI", "LLaMA-65B", "creative-writing", 0, 1, 1); err == nil {
+		t.Error("zero batch should fail")
+	}
+	if _, err := Simulate("PAPI", "LLaMA-65B", "creative-writing", 4, 0, 1); err == nil {
+		t.Error("zero speculation length should fail")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	for _, sys := range []*System{
+		NewPAPI(), NewPAPIWithAlpha(32), NewA100AttAcc(), NewA100HBMPIM(),
+		NewAttAccOnly(), NewPIMOnlyPAPI(),
+	} {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name, err)
+		}
+	}
+	if len(Designs()) != 4 {
+		t.Errorf("Designs() = %d systems, want 4", len(Designs()))
+	}
+	if len(Models()) != 4 {
+		t.Errorf("Models() = %d, want 4", len(Models()))
+	}
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if _, err := SystemByName("PAPI"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModelByName("GPT-3 66B"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetByName("general-qa"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRoundTrip(t *testing.T) {
+	eng, err := NewEngine(NewPAPI(), GPT3_66B(), DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunBatch(GeneralQA().Generate(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func TestPlacementConstants(t *testing.T) {
+	if PlacePU.String() != "PU" || PlaceFCPIM.String() != "FC-PIM" {
+		t.Fatal("placement constants broken")
+	}
+	if DefaultAlpha <= 0 {
+		t.Fatal("DefaultAlpha must be positive")
+	}
+}
+
+func TestCompareFCPlacement(t *testing.T) {
+	sys := NewPAPI()
+	k := GPT3_175B().FCIterationKernel(4)
+	pu, fcpim, err := CompareFCPlacement(sys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcpim >= pu {
+		t.Fatalf("at parallelism 4 FC-PIM (%v) should beat the PUs (%v)", fcpim, pu)
+	}
+	k = GPT3_175B().FCIterationKernel(256)
+	pu, fcpim, err = CompareFCPlacement(sys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pu >= fcpim {
+		t.Fatalf("at parallelism 256 the PUs (%v) should beat FC-PIM (%v)", pu, fcpim)
+	}
+	if _, _, err := CompareFCPlacement(NewAttAccOnly(), k); err == nil {
+		t.Fatal("GPU-less system should error")
+	}
+	if _, _, err := CompareFCPlacement(NewA100AttAcc(), k); err == nil {
+		t.Fatal("FC-PIM-less system should error")
+	}
+}
+
+func TestMoEFacade(t *testing.T) {
+	m := Mixtral8x7BLike()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := m.FCIterationKernel(8)
+	if k.Flops <= 0 || k.WeightBytes <= 0 {
+		t.Fatalf("MoE kernel degenerate: %+v", k)
+	}
+}
