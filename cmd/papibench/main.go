@@ -36,11 +36,12 @@ func figures() []figure {
 		{"ablation-sched", func() fmt.Stringer { return experiments.AblationDynamicVsStatic() }},
 		{"ablation-batching", func() fmt.Stringer { return experiments.AblationBatching() }},
 		{"ablation-schedcost", func() fmt.Stringer { return experiments.AblationSchedulingCost() }},
+		{"capacity", func() fmt.Stringer { return experiments.Capacity() }},
 	}
 }
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity)")
 	flag.Parse()
 
 	ran := false

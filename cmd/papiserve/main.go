@@ -1,0 +1,112 @@
+// Command papiserve runs fleet-level serving simulations: N replica engines
+// of one system design consume a Poisson request stream behind a routing
+// policy, reporting aggregate throughput, energy, tail latency percentiles,
+// and SLO attainment.
+//
+// Examples:
+//
+//	papiserve -design PAPI -replicas 4 -router least-outstanding -rate 40 -requests 128
+//	papiserve -design A100+AttAcc -replicas 2 -router kv-headroom -slo 12
+//	papiserve -sweep 2,5,10,20,40,80 -replicas 2 -requests 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/papi-sim/papi/internal/cluster"
+	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+func main() {
+	var (
+		design    = flag.String("design", "PAPI", `system design: "PAPI", "A100+AttAcc", "A100+HBM-PIM", "AttAcc-only", "PIM-only PAPI"`)
+		modelName = flag.String("model", "LLaMA-65B", `model: "OPT-30B", "LLaMA-65B", "GPT-3 66B", "GPT-3 175B"`)
+		dataset   = flag.String("dataset", "general-qa", `workload: "creative-writing" or "general-qa"`)
+		replicas  = flag.Int("replicas", 2, "replica engine count")
+		router    = flag.String("router", "least-outstanding", `routing policy: "round-robin", "least-outstanding", "kv-headroom"`)
+		rate      = flag.Float64("rate", 20, "offered arrival rate (requests/s)")
+		requests  = flag.Int("requests", 64, "request count in the stream")
+		maxBatch  = flag.Int("maxbatch", 16, "per-replica continuous-batching admission cap")
+		spec      = flag.Int("spec", 1, "speculation length (TLP); 1 disables speculative decoding")
+		seed      = flag.Int64("seed", 42, "workload and acceptance seed")
+		sloMS     = flag.Float64("slo", 12, "TPOT SLO in milliseconds (0 = unbounded)")
+		target    = flag.Float64("target", 0.9, "attainment target for -sweep capacity headlines")
+		sweep     = flag.String("sweep", "", "comma-separated QPS ladder: run the capacity sweep over all designs instead of one fleet")
+	)
+	flag.Parse()
+
+	if err := run(*design, *modelName, *dataset, *router, *sweep, *replicas, *requests,
+		*maxBatch, *spec, *seed, *rate, *sloMS, *target); err != nil {
+		fmt.Fprintln(os.Stderr, "papiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, modelName, dataset, routerName, sweep string, replicas, requests,
+	maxBatch, spec int, seed int64, rate, sloMS, target float64) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	ds, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	slo := workload.SLO{TokenLatency: units.Milliseconds(sloMS)}
+
+	if sweep != "" {
+		rates, err := parseRates(sweep)
+		if err != nil {
+			return err
+		}
+		res := experiments.CapacitySweep(experiments.CapacitySystems(), cfg, ds,
+			replicas, requests, maxBatch, rates, slo, target)
+		fmt.Print(res)
+		return nil
+	}
+
+	rt, err := cluster.RouterByName(routerName)
+	if err != nil {
+		return err
+	}
+	opt := serving.DefaultOptions(spec)
+	opt.Seed = seed
+	c, err := cluster.NewByName(design, cfg, cluster.Options{
+		Replicas: replicas,
+		MaxBatch: maxBatch,
+		Router:   rt,
+		Serving:  opt,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := c.Run(ds.Poisson(requests, rate, seed))
+	if err != nil {
+		return err
+	}
+	fmt.Print(f)
+	if sloMS > 0 {
+		fmt.Printf("SLO attainment (TPOT ≤ %v): %.1f%%\n", slo.TokenLatency, 100*f.Attainment(slo))
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid sweep rate %q", part)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}

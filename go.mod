@@ -1,0 +1,3 @@
+module github.com/papi-sim/papi
+
+go 1.22

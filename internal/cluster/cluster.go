@@ -1,0 +1,230 @@
+// Package cluster simulates fleet-level LLM serving: N independent replicas
+// — each a complete PAPI or baseline system running mixed continuous
+// batching — consume one arrival-driven request stream behind a pluggable
+// router. This is the layer the paper's single-engine view (§5) stops short
+// of: serving heavy traffic is a coordination problem across replicated
+// memory-compute units, so throughput, tail latency, and SLO attainment
+// depend on how arrivals are spread as much as on each replica's scheduler.
+//
+// Replicas advance iteration-by-iteration through serving.Stepper and are
+// interleaved deterministically on the internal/sim event kernel: arrivals
+// and replica steps are events on one shared timeline, with FIFO ordering
+// among simultaneous events, so a fixed seed reproduces the same fleet
+// trace run-to-run.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/sim"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// Options configures a cluster run.
+type Options struct {
+	// Replicas is the number of identical serving engines (≥ 1).
+	Replicas int
+	// MaxBatch is each replica's continuous-batching admission cap.
+	MaxBatch int
+	// Router spreads arrivals over the replicas; nil selects RoundRobin.
+	Router Router
+	// Serving configures every replica's engine. Each replica derives its
+	// acceptance-sampling seed from Serving.Seed plus its ID, so replicas do
+	// not replay identical speculation outcomes while the fleet as a whole
+	// stays deterministic.
+	Serving serving.Options
+}
+
+func (o Options) validate() error {
+	if o.Replicas < 1 {
+		return fmt.Errorf("cluster: replica count %d must be ≥ 1", o.Replicas)
+	}
+	if o.MaxBatch <= 0 {
+		return fmt.Errorf("cluster: max batch %d must be positive", o.MaxBatch)
+	}
+	return nil
+}
+
+// Replica is one serving engine's slot in the fleet, exposing the load
+// signals routers balance on.
+type Replica struct {
+	ID int
+
+	engine  *serving.Engine
+	stepper *serving.Stepper
+
+	// scheduled says a step event for this replica is already in the event
+	// queue, so arrivals must not double-schedule it.
+	scheduled bool
+	// routed counts requests this replica received.
+	routed int
+}
+
+// Outstanding counts the replica's admitted-but-unfinished plus queued
+// requests.
+func (r *Replica) Outstanding() int { return r.stepper.Outstanding() }
+
+// KVHeadroom returns the free worst-case KV capacity of the replica's
+// attention pool, given everything outstanding.
+func (r *Replica) KVHeadroom() units.Bytes {
+	room := r.engine.Sys.KVCapacity() - r.stepper.KVDemand()
+	if room < 0 {
+		room = 0
+	}
+	return room
+}
+
+// Now reports the replica's engine-local clock.
+func (r *Replica) Now() units.Seconds { return r.stepper.Now() }
+
+// Routed counts the requests the router sent here.
+func (r *Replica) Routed() int { return r.routed }
+
+// Cluster is a single-use fleet simulation: build, Run once, read the
+// FleetResult. (Routers and replicas carry per-run state, so reuse would
+// silently leak one run's state into the next.)
+type Cluster struct {
+	sysName string
+	newSys  func() *core.System
+	cfg     model.Config
+	opt     Options
+	ran     bool
+}
+
+// New validates and builds a cluster of identical replicas. newSys is
+// called once per replica so each engine owns its system instance.
+func New(newSys func() *core.System, cfg model.Config, opt Options) (*Cluster, error) {
+	if newSys == nil {
+		return nil, fmt.Errorf("cluster: nil system factory")
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Router == nil {
+		opt.Router = RoundRobin()
+	}
+	probe := newSys()
+	if probe == nil {
+		return nil, fmt.Errorf("cluster: system factory returned nil")
+	}
+	// Validate the replica blueprint once, up front, with a throwaway engine.
+	if _, err := serving.New(probe, cfg, opt.Serving); err != nil {
+		return nil, err
+	}
+	return &Cluster{sysName: probe.Name, newSys: newSys, cfg: cfg, opt: opt}, nil
+}
+
+// NewByName builds a cluster of the named system design.
+func NewByName(design string, cfg model.Config, opt Options) (*Cluster, error) {
+	if _, err := core.ByName(design); err != nil {
+		return nil, err
+	}
+	return New(func() *core.System { sys, _ := core.ByName(design); return sys }, cfg, opt)
+}
+
+// Run consumes the request stream to completion and returns fleet metrics.
+// It may be called once per Cluster.
+func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("cluster: empty request stream")
+	}
+	c.ran = true
+
+	reps := make([]*Replica, c.opt.Replicas)
+	for i := range reps {
+		opt := c.opt.Serving
+		opt.Seed += int64(i)
+		eng, err := serving.New(c.newSys(), c.cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		st, err := eng.NewStreamStepper(nil, c.opt.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = &Replica{ID: i, engine: eng, stepper: st}
+	}
+
+	kernel := sim.New()
+	var runErr error
+
+	// A replica's step event fires at its next work instant: it absorbs any
+	// idle gap, advances one iteration, and reschedules itself while work
+	// remains. Pushes re-arm idle replicas.
+	var schedule func(rep *Replica, at units.Seconds)
+	schedule = func(rep *Replica, at units.Seconds) {
+		rep.scheduled = true
+		kernel.At(at, func(now units.Seconds) {
+			rep.scheduled = false
+			if runErr != nil {
+				return
+			}
+			rep.stepper.AdvanceTo(now)
+			info, err := rep.stepper.Step()
+			if err != nil {
+				runErr = err
+				return
+			}
+			if info.Kind == serving.StepDrained {
+				return
+			}
+			schedule(rep, rep.stepper.Now())
+		})
+	}
+
+	// Arrivals are scheduled up front in stream order, so simultaneous
+	// arrivals route in a deterministic order and always precede step
+	// events at the same instant.
+	stream := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+	for i := range stream {
+		req := stream[i]
+		// A negative arrival means "already waiting at start", as in the
+		// single-engine path; the kernel cannot schedule before time zero.
+		at := req.Arrival
+		if at < 0 {
+			at = 0
+		}
+		kernel.At(at, func(now units.Seconds) {
+			if runErr != nil {
+				return
+			}
+			idx := c.opt.Router.Route(req, reps)
+			if idx < 0 || idx >= len(reps) {
+				runErr = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
+					c.opt.Router.Name(), idx, len(reps))
+				return
+			}
+			rep := reps[idx]
+			if err := rep.stepper.Push(req); err != nil {
+				runErr = err
+				return
+			}
+			rep.routed++
+			if !rep.scheduled {
+				at := now
+				// An idle replica's clock may lead the fleet clock (it
+				// committed its last iteration past this arrival); it can
+				// only take new work at its own boundary.
+				if t := rep.Now(); t > at {
+					at = t
+				}
+				schedule(rep, at)
+			}
+		})
+	}
+
+	kernel.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return aggregate(c.sysName, c.cfg.Name, c.opt.Router.Name(), reps, len(reqs))
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/papi-sim/papi/internal/energy"
+	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/stats"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// FleetResult aggregates one cluster run: per-replica serving results plus
+// the fleet-level quantities a capacity planner reads — aggregate
+// throughput, energy, and latency tail percentiles.
+type FleetResult struct {
+	System string
+	Model  string
+	Router string
+
+	// Replicas holds each replica's full serving result, in replica order.
+	Replicas []serving.Result
+	// Routed is how many requests each replica received.
+	Routed []int
+
+	// Requests merges every replica's per-request metrics (arrival-relative
+	// latencies), sorted by request ID.
+	Requests []serving.RequestMetrics
+
+	// Makespan is the instant the last replica finished, on the shared
+	// fleet clock.
+	Makespan units.Seconds
+	// Tokens is the fleet-wide generated token count.
+	Tokens int
+	// Energy merges every replica's ledger.
+	Energy energy.Ledger
+
+	// TTFT and TPOT digest the request latency distributions (seconds).
+	// TPOT summarises multi-token requests only: single-token requests have
+	// no inter-token cadence (their TPOT is 0 by definition).
+	TTFT stats.Summary
+	TPOT stats.Summary
+}
+
+// aggregate finalises every replica and folds the fleet metrics.
+func aggregate(system, model, router string, reps []*Replica, want int) (*FleetResult, error) {
+	f := &FleetResult{System: system, Model: model, Router: router}
+	var ttfts, tpots []float64
+	for _, rep := range reps {
+		res := rep.stepper.Finalize()
+		f.Replicas = append(f.Replicas, res)
+		f.Routed = append(f.Routed, rep.routed)
+		f.Tokens += res.Tokens
+		f.Energy.Merge(&res.Energy)
+		if t := rep.Now(); t > f.Makespan {
+			f.Makespan = t
+		}
+		for _, rm := range res.Requests {
+			f.Requests = append(f.Requests, rm)
+			ttfts = append(ttfts, float64(rm.TTFT))
+			if rm.OutputTokens > 1 {
+				tpots = append(tpots, float64(rm.TPOT))
+			}
+		}
+	}
+	if len(f.Requests) != want {
+		return nil, fmt.Errorf("cluster: %d of %d requests completed", len(f.Requests), want)
+	}
+	sort.Slice(f.Requests, func(i, j int) bool { return f.Requests[i].ID < f.Requests[j].ID })
+	f.TTFT = stats.Summarize(ttfts)
+	f.TPOT = stats.Summarize(tpots)
+	return f, nil
+}
+
+// TokensPerSecond is the fleet's aggregate decode throughput over the
+// makespan.
+func (f *FleetResult) TokensPerSecond() float64 {
+	if f.Makespan <= 0 {
+		return 0
+	}
+	return float64(f.Tokens) / float64(f.Makespan)
+}
+
+// RequestsPerSecond is the completed-request rate over the makespan.
+func (f *FleetResult) RequestsPerSecond() float64 {
+	if f.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(f.Requests)) / float64(f.Makespan)
+}
+
+// Attainment scores the merged request set against a per-token SLO (see
+// serving.SLOAttainment for the single-token rule).
+func (f *FleetResult) Attainment(slo workload.SLO) float64 {
+	return serving.SLOAttainment(f.Requests, slo)
+}
+
+// String renders the per-replica table and the fleet digest.
+func (f *FleetResult) String() string {
+	tb := stats.NewTable(
+		fmt.Sprintf("%s fleet · %s · router %s", f.System, f.Model, f.Router),
+		"replica", "routed", "tokens", "iters", "busy", "idle", "energy")
+	for i, r := range f.Replicas {
+		tb.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", f.Routed[i]),
+			fmt.Sprintf("%d", r.Tokens),
+			fmt.Sprintf("%d", r.Iterations),
+			(r.PrefillTime + r.DecodeTime).String(),
+			r.IdleTime.String(),
+			r.Energy.Total().String(),
+		)
+	}
+	return tb.String() + fmt.Sprintf(
+		"makespan %v · %d tokens (%.0f tok/s, %.2f req/s) · energy %v\n"+
+			"TTFT p50/p95/p99 %v / %v / %v · TPOT p50/p95/p99 %v / %v / %v\n",
+		f.Makespan, f.Tokens, f.TokensPerSecond(), f.RequestsPerSecond(), f.Energy.Total(),
+		units.Seconds(f.TTFT.P50), units.Seconds(f.TTFT.P95), units.Seconds(f.TTFT.P99),
+		units.Seconds(f.TPOT.P50), units.Seconds(f.TPOT.P95), units.Seconds(f.TPOT.P99))
+}

@@ -45,11 +45,13 @@ func (l *Ledger) Add(c Component, j units.Joules) {
 // Get returns a component's accumulated energy.
 func (l *Ledger) Get(c Component) units.Joules { return l.entries[c] }
 
-// Total sums every component.
+// Total sums every component. Summation follows the deterministic
+// Components order: float addition is order-sensitive, and map iteration
+// order would otherwise make totals differ by an ulp run-to-run.
 func (l *Ledger) Total() units.Joules {
 	var t units.Joules
-	for _, j := range l.entries {
-		t += j
+	for _, c := range l.Components() {
+		t += l.entries[c]
 	}
 	return t
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+func smallSweep() CapacityResult {
+	return CapacitySweep(CapacitySystems(), model.LLaMA65B(), workload.GeneralQA(),
+		2, 24, 8, []float64{4, 200},
+		workload.SLO{TokenLatency: units.Milliseconds(12)}, 0.9)
+}
+
+func TestCapacitySweep(t *testing.T) {
+	res := smallSweep()
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves for %d systems, want 3", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", c.System, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if p.Attainment < 0 || p.Attainment > 1 {
+				t.Errorf("%s @ %g: attainment %v outside [0,1]", c.System, p.QPS, p.Attainment)
+			}
+			if p.TokensPerSec <= 0 {
+				t.Errorf("%s @ %g: no throughput", c.System, p.QPS)
+			}
+		}
+		// MaxQPS is consistent with the measured points.
+		var want float64
+		for _, p := range c.Points {
+			if p.Attainment >= res.Target && p.QPS > want {
+				want = p.QPS
+			}
+		}
+		if c.MaxQPS != want {
+			t.Errorf("%s: MaxQPS %g, want %g", c.System, c.MaxQPS, want)
+		}
+	}
+	out := res.String()
+	for _, name := range []string{"PAPI", "A100+AttAcc", "PIM-only PAPI"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("rendering missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestCapacitySweepDeterministic(t *testing.T) {
+	if a, b := smallSweep(), smallSweep(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("capacity sweep diverged across runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCapacityHeterogeneousBeatsPIMOnly(t *testing.T) {
+	// The GPU-less variant pays prefill on PIM, so under any offered load
+	// its tail TTFT must trail the heterogeneous designs'.
+	res := smallSweep()
+	byName := map[string]CapacityCurve{}
+	for _, c := range res.Curves {
+		byName[c.System] = c
+	}
+	papi, pimOnly := byName["PAPI"], byName["PIM-only PAPI"]
+	if papi.Points[0].TTFTP99 >= pimOnly.Points[0].TTFTP99 {
+		t.Fatalf("PAPI TTFT p99 %v should beat PIM-only %v",
+			papi.Points[0].TTFTP99, pimOnly.Points[0].TTFTP99)
+	}
+}

@@ -2,10 +2,7 @@ package serving
 
 import (
 	"fmt"
-	"sort"
 
-	"github.com/papi-sim/papi/internal/energy"
-	"github.com/papi-sim/papi/internal/sched"
 	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
@@ -15,119 +12,17 @@ import (
 // scheduling — without waiting for the current batch to drain. Admission is
 // bounded by maxBatch and by the attention pool's KV capacity; runtime RLP
 // therefore both grows (admissions) and shrinks (completions), the §3.2
-// dynamics that motivate PAPI's runtime scheduler.
+// dynamics that motivate PAPI's runtime scheduler. It is a convenience
+// wrapper over NewStreamStepper that drives the stepper to completion.
 func (e *Engine) RunContinuous(reqs []workload.Request, maxBatch int) (Result, error) {
 	if len(reqs) == 0 {
 		return Result{}, fmt.Errorf("serving: empty request stream")
 	}
-	if maxBatch <= 0 {
-		return Result{}, fmt.Errorf("serving: max batch %d must be positive", maxBatch)
+	st, err := e.NewStreamStepper(reqs, maxBatch)
+	if err != nil {
+		return Result{}, err
 	}
-	pending := make([]*request, len(reqs))
-	for i, r := range reqs {
-		if r.InputLen <= 0 || r.OutputLen <= 0 {
-			return Result{}, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
-		}
-		pending[i] = &request{Request: r}
-	}
-	sort.SliceStable(pending, func(i, j int) bool {
-		return pending[i].Arrival < pending[j].Arrival
-	})
-
-	res := Result{System: e.Sys.Name, Model: e.Cfg.Name}
-	var activeSet []*request
-	var scheduler *sched.Scheduler
-	var clock units.Seconds
-	tracker := newMetricsTracker()
-	done := 0
-
-	admit := func() error {
-		var newcomers []int
-		for len(pending) > 0 && len(live(activeSet))+len(newcomers) < maxBatch {
-			cand := pending[0]
-			if cand.Arrival > clock {
-				break
-			}
-			if !e.kvFits(activeSet, cand) {
-				break
-			}
-			activeSet = append(activeSet, cand)
-			newcomers = append(newcomers, cand.InputLen)
-			pending = pending[1:]
-		}
-		if len(newcomers) == 0 {
-			return nil
-		}
-		// Newly admitted requests are prefilled as they join (piggybacked
-		// onto the token timeline, charged explicitly here).
-		pt := e.runPrefill(newcomers, &res)
-		res.PrefillTime += pt
-		clock += pt
-		if scheduler == nil {
-			var err error
-			scheduler, err = sched.NewScheduler(e.Sys.Policy, len(newcomers), e.Opt.TLP)
-			return err
-		}
-		return scheduler.AdmitRequests(len(newcomers))
-	}
-
-	for done < len(reqs) {
-		if err := admit(); err != nil {
-			return Result{}, err
-		}
-		liveReqs := live(activeSet)
-		if len(liveReqs) == 0 {
-			// Nothing running: jump to the next arrival.
-			if len(pending) == 0 {
-				break
-			}
-			gap := pending[0].Arrival - clock
-			if gap <= 0 {
-				// The head request has arrived but could not be admitted with
-				// an empty batch: its KV cache alone exceeds the pool.
-				return Result{}, fmt.Errorf("serving: request %d KV footprint exceeds attention pool capacity",
-					pending[0].ID)
-			}
-			res.IdleTime += gap
-			clock = pending[0].Arrival
-			continue
-		}
-
-		ev := scheduler.Decide()
-		before := res.DecodeTime
-		it := e.runIteration(liveReqs, ev, &res)
-		clock += res.DecodeTime - before
-		res.Iterations++
-		if len(res.RLPTrace) < traceCap {
-			res.RLPTrace = append(res.RLPTrace, len(liveReqs))
-		}
-		if len(res.IterStats) < traceCap {
-			res.IterStats = append(res.IterStats, it)
-		}
-
-		eos := 0
-		for _, r := range liveReqs {
-			committed := e.commitTokens(r)
-			res.Tokens += committed
-			tracker.observe(r, committed, clock, r.Arrival)
-			if r.done {
-				eos++
-				done++
-			}
-		}
-		if err := scheduler.ObserveEOS(eos); err != nil {
-			return Result{}, err
-		}
-		// Drop finished requests from the active set to release KV capacity.
-		activeSet = live(activeSet)
-	}
-	res.Requests = tracker.finalize(reqs)
-
-	if scheduler != nil {
-		res.Reschedules = scheduler.Reschedules()
-	}
-	res.Energy.Add(energy.HostCPU, e.Sys.HostPower.Energy(res.TotalTime()))
-	return res, nil
+	return st.run()
 }
 
 // kvFits reports whether cand's worst-case KV cache fits alongside the

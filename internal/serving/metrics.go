@@ -13,7 +13,10 @@ type RequestMetrics struct {
 	// the request's arrival (continuous batching) to the end of the
 	// iteration that committed its first output token. Prefill is included.
 	TTFT units.Seconds
-	// TPOT is the mean time per output token after the first.
+	// TPOT is the mean time per output token after the first — the
+	// steady-state decode cadence. A single-token request has no
+	// inter-token gap, so its TPOT is 0 by definition; SLOAttainment scores
+	// such requests by their TTFT-inclusive completion time instead.
 	TPOT units.Seconds
 	// Completion is when the request finished, on the same clock as TTFT.
 	Completion units.Seconds
@@ -21,14 +24,25 @@ type RequestMetrics struct {
 	OutputTokens int
 }
 
-// SLOAttainment returns the fraction of requests whose TPOT meets the SLO.
+// SLOAttainment returns the fraction of requests meeting the per-token SLO.
+// Requests with more than one output token are scored by TPOT. Single-token
+// requests have no inter-token gap (their TPOT is 0 by definition), so they
+// are scored by their TTFT-inclusive completion time instead: the lone token
+// must arrive within the SLO bound measured from the request's epoch.
+// Scoring them by TPOT would grade them against an undefined quantity;
+// before this rule they inherited TPOT = TTFT, silently polluting
+// attainment with prefill latency under a decode-cadence SLO.
 func SLOAttainment(reqs []RequestMetrics, slo workload.SLO) float64 {
 	if len(reqs) == 0 {
 		return 0
 	}
 	met := 0
 	for _, r := range reqs {
-		if slo.Met(r.TPOT) {
+		lat := r.TPOT
+		if r.OutputTokens <= 1 {
+			lat = r.Completion
+		}
+		if slo.Met(lat) {
 			met++
 		}
 	}
@@ -70,9 +84,9 @@ func (m *metricsTracker) finalize(order []workload.Request) []RequestMetrics {
 		}
 		if rm.OutputTokens > 1 {
 			rm.TPOT = (rm.Completion - rm.TTFT) / units.Seconds(rm.OutputTokens-1)
-		} else {
-			rm.TPOT = rm.TTFT
 		}
+		// Single-token requests keep TPOT = 0: there is no inter-token gap
+		// to average (see RequestMetrics.TPOT and SLOAttainment).
 		out = append(out, *rm)
 	}
 	return out

@@ -84,9 +84,9 @@ func TestContinuousMetricsRelativeToArrival(t *testing.T) {
 
 func TestSLOAttainment(t *testing.T) {
 	ms := []RequestMetrics{
-		{ID: 0, TPOT: units.Milliseconds(10)},
-		{ID: 1, TPOT: units.Milliseconds(20)},
-		{ID: 2, TPOT: units.Milliseconds(40)},
+		{ID: 0, OutputTokens: 8, TPOT: units.Milliseconds(10)},
+		{ID: 1, OutputTokens: 8, TPOT: units.Milliseconds(20)},
+		{ID: 2, OutputTokens: 8, TPOT: units.Milliseconds(40)},
 	}
 	slo := workload.SLO{TokenLatency: units.Milliseconds(25)}
 	if got := SLOAttainment(ms, slo); got != 2.0/3 {
@@ -100,15 +100,31 @@ func TestSLOAttainment(t *testing.T) {
 	}
 }
 
+func TestSLOAttainmentSingleToken(t *testing.T) {
+	// Single-token requests are scored by TTFT-inclusive completion, not by
+	// their (zero, undefined) TPOT — so a slow prefill still counts against
+	// the SLO, and a fast one is not penalised by a fictional TPOT.
+	slo := workload.SLO{TokenLatency: units.Milliseconds(25)}
+	fast := RequestMetrics{ID: 0, OutputTokens: 1, Completion: units.Milliseconds(10)}
+	slow := RequestMetrics{ID: 1, OutputTokens: 1, Completion: units.Milliseconds(50)}
+	if got := SLOAttainment([]RequestMetrics{fast, slow}, slo); got != 0.5 {
+		t.Fatalf("single-token attainment = %v, want 0.5", got)
+	}
+}
+
 func TestSingleTokenTPOT(t *testing.T) {
-	// A one-token request has no inter-token gap; TPOT falls back to TTFT.
+	// A one-token request has no inter-token gap; its TPOT is 0 by
+	// definition and its SLO experience is judged by completion time.
 	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(1))
 	res, err := e.RunBatch([]workload.Request{{ID: 0, InputLen: 16, OutputLen: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rm := res.Requests[0]
-	if rm.OutputTokens != 1 || rm.TPOT != rm.TTFT {
-		t.Fatalf("single-token metrics = %+v", rm)
+	if rm.OutputTokens != 1 || rm.TPOT != 0 {
+		t.Fatalf("single-token metrics = %+v, want TPOT 0", rm)
+	}
+	if rm.Completion != rm.TTFT {
+		t.Fatalf("single-token completion %v != TTFT %v", rm.Completion, rm.TTFT)
 	}
 }

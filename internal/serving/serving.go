@@ -177,77 +177,14 @@ type request struct {
 
 // RunBatch executes one statically-batched inference: prefill for the whole
 // batch, then decode iterations until every request has produced its output
-// (requests finishing early shrink RLP, as in Fig. 3).
+// (requests finishing early shrink RLP, as in Fig. 3). It is a convenience
+// wrapper over NewBatchStepper that drives the stepper to completion.
 func (e *Engine) RunBatch(reqs []workload.Request) (Result, error) {
-	if len(reqs) == 0 {
-		return Result{}, fmt.Errorf("serving: empty batch")
-	}
-	if err := e.checkKVCapacity(reqs); err != nil {
-		return Result{}, err
-	}
-
-	res := Result{System: e.Sys.Name, Model: e.Cfg.Name}
-	active := make([]*request, len(reqs))
-	inputs := make([]int, len(reqs))
-	for i, r := range reqs {
-		if r.InputLen <= 0 || r.OutputLen <= 0 {
-			return Result{}, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
-		}
-		active[i] = &request{Request: r}
-		inputs[i] = r.InputLen
-	}
-
-	// Prefill (§2.1): all input tokens processed at once. Compute-bound, so
-	// it runs on the GPU where one exists; PIM-only designs pay for it on
-	// their PIM units (§7.4).
-	res.PrefillTime = e.runPrefill(inputs, &res)
-
-	scheduler, err := sched.NewScheduler(e.Sys.Policy, len(reqs), e.Opt.TLP)
+	st, err := e.NewBatchStepper(reqs)
 	if err != nil {
 		return Result{}, err
 	}
-	tracker := newMetricsTracker()
-
-	for {
-		live := live(active)
-		if len(live) == 0 {
-			break
-		}
-		ev := scheduler.Decide()
-		it := e.runIteration(live, ev, &res)
-		res.Iterations++
-		if len(res.RLPTrace) < traceCap {
-			res.RLPTrace = append(res.RLPTrace, len(live))
-		}
-		if len(res.IterStats) < traceCap {
-			res.IterStats = append(res.IterStats, it)
-		}
-
-		// Commit tokens and count <|eos|> (§5.2.2 steps 1–2).
-		clock := res.PrefillTime + res.DecodeTime
-		eos := 0
-		for _, r := range live {
-			committed := e.commitTokens(r)
-			res.Tokens += committed
-			tracker.observe(r, committed, clock, 0)
-			if r.done {
-				eos++
-			}
-		}
-		if err := scheduler.ObserveEOS(eos); err != nil {
-			return Result{}, err
-		}
-	}
-	res.Requests = tracker.finalize(reqs)
-
-	res.Reschedules = scheduler.Reschedules()
-	res.PerRequestIterations = make([]int, len(active))
-	for i, r := range active {
-		res.PerRequestIterations[i] = r.iterations
-	}
-	// Host CPU draws power for the whole run.
-	res.Energy.Add(energy.HostCPU, e.Sys.HostPower.Energy(res.TotalTime()))
-	return res, nil
+	return st.run()
 }
 
 // live filters unfinished requests.
@@ -382,7 +319,7 @@ func (e *Engine) runIteration(liveReqs []*request, ev sched.Event, res *Result) 
 		TLP:       e.Opt.TLP,
 		Placement: ev.Placement,
 		Time:      iterTime,
-		Tokens:    0, // filled by the caller after commit
+		// Tokens is filled by Stepper.Step from the committed count.
 	}
 }
 

@@ -1,0 +1,336 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/papi-sim/papi/internal/energy"
+	"github.com/papi-sim/papi/internal/sched"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// StepKind says what a single Step advanced.
+type StepKind int
+
+const (
+	// StepDrained means nothing is left to do: no live requests and no
+	// pending arrivals. The stepper is finished.
+	StepDrained StepKind = iota
+	// StepIdle means no request was runnable, so the clock jumped to the
+	// next pending arrival (idle time, continuous batching only).
+	StepIdle
+	// StepIteration means one decoding iteration ran and committed tokens.
+	StepIteration
+)
+
+// StepInfo reports the outcome of one Step call.
+type StepInfo struct {
+	Kind StepKind
+	// Iteration is the iteration's trace entry (valid for StepIteration),
+	// with Tokens filled from the committed count.
+	Iteration IterationStat
+	// Completed is how many requests reached <|eos|> this step.
+	Completed int
+}
+
+// Stepper is the resumable core of the serving engine: the iteration loop
+// shared by RunBatch and RunContinuous, exposed as an
+// admit → decide → iterate → commit cycle that advances by exactly one
+// iteration per Step call on a caller-owned clock. This lets a caller — the
+// multi-replica simulator in internal/cluster — interleave many engines
+// deterministically on one event kernel instead of each run owning its own
+// timeline.
+//
+// Two modes exist:
+//
+//   - static (NewBatchStepper): the whole batch is prefilled up front and
+//     latencies are measured from run start, reproducing RunBatch;
+//   - stream (NewStreamStepper): requests are admitted at iteration
+//     boundaries as they arrive (mixed continuous batching), bounded by the
+//     admission cap and KV capacity, reproducing RunContinuous. More
+//     arrivals may be injected mid-run with Push.
+type Stepper struct {
+	eng *Engine
+	res Result
+
+	all     []*request // every request seen, in input order
+	pending []*request // arrival-ordered, not yet admitted (stream mode)
+	active  []*request // admitted and unfinished
+
+	scheduler *sched.Scheduler
+	tracker   *metricsTracker
+	maxBatch  int
+	static    bool
+	clock     units.Seconds
+
+	finalized bool
+}
+
+// NewBatchStepper builds a static-batching stepper: every request is
+// prefilled immediately and decode iterations run until the batch drains.
+func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serving: empty batch")
+	}
+	if err := e.checkKVCapacity(reqs); err != nil {
+		return nil, err
+	}
+	s := &Stepper{
+		eng:      e,
+		res:      Result{System: e.Sys.Name, Model: e.Cfg.Name},
+		maxBatch: len(reqs),
+		static:   true,
+		tracker:  newMetricsTracker(),
+	}
+	inputs := make([]int, len(reqs))
+	for i, r := range reqs {
+		if r.InputLen <= 0 || r.OutputLen <= 0 {
+			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
+		}
+		rr := &request{Request: r}
+		s.all = append(s.all, rr)
+		s.active = append(s.active, rr)
+		inputs[i] = r.InputLen
+	}
+
+	// Prefill (§2.1): all input tokens processed at once. Compute-bound, so
+	// it runs on the GPU where one exists; PIM-only designs pay for it on
+	// their PIM units (§7.4).
+	s.res.PrefillTime = e.runPrefill(inputs, &s.res)
+	s.clock = s.res.PrefillTime
+
+	scheduler, err := sched.NewScheduler(e.Sys.Policy, len(reqs), e.Opt.TLP)
+	if err != nil {
+		return nil, err
+	}
+	s.scheduler = scheduler
+	return s, nil
+}
+
+// NewStreamStepper builds a continuous-batching stepper over an
+// arrival-ordered request stream. The stream may be empty: a caller that
+// owns the arrival process (internal/cluster) injects requests with Push as
+// they reach this engine.
+func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepper, error) {
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("serving: max batch %d must be positive", maxBatch)
+	}
+	s := &Stepper{
+		eng:      e,
+		res:      Result{System: e.Sys.Name, Model: e.Cfg.Name},
+		maxBatch: maxBatch,
+		tracker:  newMetricsTracker(),
+	}
+	for _, r := range reqs {
+		if r.InputLen <= 0 || r.OutputLen <= 0 {
+			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
+		}
+		rr := &request{Request: r}
+		s.all = append(s.all, rr)
+		s.pending = append(s.pending, rr)
+	}
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.pending[i].Arrival < s.pending[j].Arrival
+	})
+	return s, nil
+}
+
+// Push injects one more request into a stream stepper's pending queue. The
+// cluster router calls this at the request's arrival instant.
+func (s *Stepper) Push(r workload.Request) error {
+	if s.static {
+		return fmt.Errorf("serving: cannot push into a static batch stepper")
+	}
+	if r.InputLen <= 0 || r.OutputLen <= 0 {
+		return fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
+	}
+	rr := &request{Request: r}
+	s.all = append(s.all, rr)
+	// Arrivals are pushed in time order in practice; insert stably so an
+	// out-of-order push cannot corrupt the queue.
+	i := sort.Search(len(s.pending), func(i int) bool {
+		return s.pending[i].Arrival > r.Arrival
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = rr
+	return nil
+}
+
+// Now reports the engine-local clock: prefill plus decode plus idle time
+// elapsed so far.
+func (s *Stepper) Now() units.Seconds { return s.clock }
+
+// HasWork reports whether any request is live or waiting.
+func (s *Stepper) HasWork() bool { return len(s.active) > 0 || len(s.pending) > 0 }
+
+// Outstanding counts requests admitted-but-unfinished plus queued — the
+// load signal the least-outstanding-requests router balances on.
+func (s *Stepper) Outstanding() int { return len(s.active) + len(s.pending) }
+
+// KVDemand returns the worst-case KV-cache footprint of every outstanding
+// request (live and queued), the signal the KV-headroom router balances on.
+func (s *Stepper) KVDemand() units.Bytes {
+	var need units.Bytes
+	for _, r := range s.active {
+		need += s.eng.Cfg.KVBytes(r.SeqLen())
+	}
+	for _, r := range s.pending {
+		need += s.eng.Cfg.KVBytes(r.SeqLen())
+	}
+	return need
+}
+
+// AdvanceTo moves an idle stepper's clock forward to t, accounting the gap
+// as idle time. It is a no-op when t is not ahead of the clock or when live
+// requests still occupy the engine (a busy engine's clock only advances by
+// running iterations).
+func (s *Stepper) AdvanceTo(t units.Seconds) {
+	if t <= s.clock || len(s.active) > 0 {
+		return
+	}
+	s.res.IdleTime += t - s.clock
+	s.clock = t
+}
+
+// admit moves pending requests whose arrival has passed into the active
+// batch, bounded by the admission cap and the attention pool's KV capacity,
+// and charges their prefill (piggybacked onto the token timeline).
+func (s *Stepper) admit() error {
+	var newcomers []int
+	for len(s.pending) > 0 && len(s.active)+len(newcomers) < s.maxBatch {
+		cand := s.pending[0]
+		if cand.Arrival > s.clock {
+			break
+		}
+		if !s.eng.kvFits(s.active, cand) {
+			break
+		}
+		s.active = append(s.active, cand)
+		newcomers = append(newcomers, cand.InputLen)
+		s.pending = s.pending[1:]
+	}
+	if len(newcomers) == 0 {
+		return nil
+	}
+	pt := s.eng.runPrefill(newcomers, &s.res)
+	s.res.PrefillTime += pt
+	s.clock += pt
+	if s.scheduler == nil {
+		var err error
+		s.scheduler, err = sched.NewScheduler(s.eng.Sys.Policy, len(newcomers), s.eng.Opt.TLP)
+		return err
+	}
+	return s.scheduler.AdmitRequests(len(newcomers))
+}
+
+// Step advances the engine by one unit of progress: admit any arrived
+// requests, then either run one decoding iteration (decide → iterate →
+// commit), jump the clock to the next arrival if nothing is runnable, or
+// report the stepper drained.
+func (s *Stepper) Step() (StepInfo, error) {
+	if !s.static {
+		if err := s.admit(); err != nil {
+			return StepInfo{}, err
+		}
+	}
+	if len(s.active) == 0 {
+		if len(s.pending) == 0 {
+			return StepInfo{Kind: StepDrained}, nil
+		}
+		gap := s.pending[0].Arrival - s.clock
+		if gap <= 0 {
+			// The head request has arrived but could not be admitted with
+			// an empty batch: its KV cache alone exceeds the pool.
+			return StepInfo{}, fmt.Errorf("serving: request %d KV footprint exceeds attention pool capacity",
+				s.pending[0].ID)
+		}
+		s.res.IdleTime += gap
+		s.clock = s.pending[0].Arrival
+		return StepInfo{Kind: StepIdle}, nil
+	}
+
+	ev := s.scheduler.Decide()
+	it := s.eng.runIteration(s.active, ev, &s.res)
+	s.res.Iterations++
+	if len(s.res.RLPTrace) < traceCap {
+		s.res.RLPTrace = append(s.res.RLPTrace, len(s.active))
+	}
+	if s.static {
+		// Recompute rather than accumulate so the clock matches the summed
+		// phase times bit-for-bit.
+		s.clock = s.res.PrefillTime + s.res.DecodeTime
+	} else {
+		s.clock += it.Time
+	}
+
+	// Commit tokens and count <|eos|> (§5.2.2 steps 1–2).
+	info := StepInfo{Kind: StepIteration}
+	eos := 0
+	for _, r := range s.active {
+		committed := s.eng.commitTokens(r)
+		s.res.Tokens += committed
+		it.Tokens += committed
+		epoch := units.Seconds(0)
+		if !s.static {
+			epoch = r.Arrival
+		}
+		s.tracker.observe(r, committed, s.clock, epoch)
+		if r.done {
+			eos++
+		}
+	}
+	if len(s.res.IterStats) < traceCap {
+		s.res.IterStats = append(s.res.IterStats, it)
+	}
+	if err := s.scheduler.ObserveEOS(eos); err != nil {
+		return StepInfo{}, err
+	}
+	info.Iteration = it
+	info.Completed = eos
+	// Drop finished requests from the active set to release KV capacity.
+	s.active = live(s.active)
+	return info, nil
+}
+
+// Finalize closes the run and returns the accumulated Result: per-request
+// metrics in input order, scheduler activity, and host-CPU energy over the
+// makespan. Further Finalize calls return the same Result.
+func (s *Stepper) Finalize() Result {
+	if s.finalized {
+		return s.res
+	}
+	s.finalized = true
+	order := make([]workload.Request, len(s.all))
+	for i, r := range s.all {
+		order[i] = r.Request
+	}
+	s.res.Requests = s.tracker.finalize(order)
+	if s.scheduler != nil {
+		s.res.Reschedules = s.scheduler.Reschedules()
+	}
+	if s.static {
+		s.res.PerRequestIterations = make([]int, len(s.all))
+		for i, r := range s.all {
+			s.res.PerRequestIterations[i] = r.iterations
+		}
+	}
+	// Host CPU draws power for the whole run.
+	s.res.Energy.Add(energy.HostCPU, s.eng.Sys.HostPower.Energy(s.res.TotalTime()))
+	return s.res
+}
+
+// run drives a stepper to completion — the shared tail of RunBatch and
+// RunContinuous.
+func (s *Stepper) run() (Result, error) {
+	for {
+		info, err := s.Step()
+		if err != nil {
+			return Result{}, err
+		}
+		if info.Kind == StepDrained {
+			return s.Finalize(), nil
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package serving
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// sumIterTokens adds up the per-iteration committed counts in the trace.
+func sumIterTokens(res Result) int {
+	sum := 0
+	for _, it := range res.IterStats {
+		sum += it.Tokens
+	}
+	return sum
+}
+
+func TestIterStatsTokensSumBatch(t *testing.T) {
+	// Regression: IterationStat.Tokens used to stay 0 in both batch modes.
+	// With fewer iterations than the trace cap, the per-iteration counts
+	// must account for every generated token.
+	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(4))
+	res, err := e.RunBatch(fixedBatch(8, 64, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterStats) != res.Iterations {
+		t.Fatalf("trace has %d entries for %d iterations", len(res.IterStats), res.Iterations)
+	}
+	if got := sumIterTokens(res); got != res.Tokens || got == 0 {
+		t.Fatalf("sum(IterStats.Tokens) = %d, want Result.Tokens = %d", got, res.Tokens)
+	}
+}
+
+func TestIterStatsTokensSumContinuous(t *testing.T) {
+	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(1))
+	res, err := e.RunContinuous(workload.GeneralQA().Poisson(24, 50, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumIterTokens(res); got != res.Tokens || got == 0 {
+		t.Fatalf("sum(IterStats.Tokens) = %d, want Result.Tokens = %d", got, res.Tokens)
+	}
+}
+
+func TestBatchStepperMatchesRunBatch(t *testing.T) {
+	// Driving the stepper by hand is the same computation as RunBatch.
+	cfg := model.LLaMA65B()
+	reqs := workload.CreativeWriting().Generate(8, 9)
+
+	ref := mustEngine(t, core.NewPAPI(0), cfg, DefaultOptions(4))
+	want, err := ref.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := mustEngine(t, core.NewPAPI(0), cfg, DefaultOptions(4))
+	st, err := e.NewBatchStepper(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		info, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Kind == StepDrained {
+			break
+		}
+		if info.Kind != StepIteration {
+			t.Fatalf("static stepper produced step kind %v", info.Kind)
+		}
+		steps++
+	}
+	got := st.Finalize()
+	if got.DecodeTime != want.DecodeTime || got.Tokens != want.Tokens ||
+		got.Iterations != want.Iterations || got.Reschedules != want.Reschedules {
+		t.Fatalf("stepper diverged from RunBatch:\n got %v/%d tokens/%d iters\nwant %v/%d tokens/%d iters",
+			got.DecodeTime, got.Tokens, got.Iterations, want.DecodeTime, want.Tokens, want.Iterations)
+	}
+	if steps != want.Iterations {
+		t.Fatalf("stepper took %d steps for %d iterations", steps, want.Iterations)
+	}
+	if got.Energy.Total() != want.Energy.Total() {
+		t.Fatalf("energy diverged: %v vs %v", got.Energy.Total(), want.Energy.Total())
+	}
+}
+
+func TestStreamStepperMatchesRunContinuous(t *testing.T) {
+	cfg := model.LLaMA65B()
+	reqs := workload.GeneralQA().Poisson(24, 40, 7)
+
+	ref := mustEngine(t, core.NewPAPI(0), cfg, DefaultOptions(1))
+	want, err := ref.RunContinuous(reqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := mustEngine(t, core.NewPAPI(0), cfg, DefaultOptions(1))
+	st, err := e.NewStreamStepper(reqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		info, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Kind == StepDrained {
+			break
+		}
+	}
+	got := st.Finalize()
+	if got.DecodeTime != want.DecodeTime || got.Tokens != want.Tokens ||
+		got.Iterations != want.Iterations || got.IdleTime != want.IdleTime {
+		t.Fatalf("stepper diverged from RunContinuous:\n got %+v\nwant %+v", got.Iterations, want.Iterations)
+	}
+}
+
+func TestStreamStepperPush(t *testing.T) {
+	// Cluster-style use: an empty stream stepper fed by Push at arrival
+	// instants, idling via AdvanceTo between them.
+	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(1))
+	st, err := e.NewStreamStepper(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasWork() {
+		t.Fatal("fresh empty stepper should report no work")
+	}
+	if err := st.Push(workload.Request{ID: 0, InputLen: 32, OutputLen: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", st.Outstanding())
+	}
+	for st.HasWork() {
+		if _, err := st.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second request arrives well after the first finished.
+	at := st.Now() + units.Seconds(2)
+	if err := st.Push(workload.Request{ID: 1, InputLen: 32, OutputLen: 4, Arrival: at}); err != nil {
+		t.Fatal(err)
+	}
+	st.AdvanceTo(at)
+	for st.HasWork() {
+		if _, err := st.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := st.Finalize()
+	if res.Tokens != 8 {
+		t.Fatalf("tokens = %d, want 8", res.Tokens)
+	}
+	if res.IdleTime < units.Seconds(1.5) {
+		t.Fatalf("idle time = %v, want ≈2 s gap accounted", res.IdleTime)
+	}
+	if len(res.Requests) != 2 {
+		t.Fatalf("metrics for %d requests, want 2", len(res.Requests))
+	}
+	// The late request's latency is arrival-relative.
+	if res.Requests[1].TTFT > units.Seconds(1) {
+		t.Fatalf("pushed request TTFT %v should be arrival-relative", res.Requests[1].TTFT)
+	}
+}
+
+func TestStepperMisuse(t *testing.T) {
+	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(1))
+	if _, err := e.NewStreamStepper(nil, 0); err == nil {
+		t.Error("non-positive max batch should fail")
+	}
+	st, err := e.NewBatchStepper(fixedBatch(2, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(workload.Request{ID: 9, InputLen: 8, OutputLen: 2}); err == nil {
+		t.Error("pushing into a static batch stepper should fail")
+	}
+	ss, err := e.NewStreamStepper(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Push(workload.Request{ID: 0, InputLen: 0, OutputLen: 2}); err == nil {
+		t.Error("pushing a zero-length request should fail")
+	}
+}

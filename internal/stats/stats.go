@@ -63,6 +63,11 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the nearest-rank rule over an already-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -74,6 +79,33 @@ func Percentile(xs []float64, p float64) float64 {
 		rank = 0
 	}
 	return sorted[rank]
+}
+
+// Quantiles returns the nearest-rank percentile for each p in ps, sorting
+// xs once. Empty input yields all zeros.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// Summary digests a latency distribution at the percentiles online-serving
+// SLOs are written against.
+type Summary struct {
+	P50, P95, P99 float64
+}
+
+// Summarize computes the p50/p95/p99 digest of xs (zeros for empty input).
+func Summarize(xs []float64) Summary {
+	q := Quantiles(xs, 50, 95, 99)
+	return Summary{P50: q[0], P95: q[1], P99: q[2]}
 }
 
 // Table is a simple column-aligned ASCII table.

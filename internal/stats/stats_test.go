@@ -65,6 +65,41 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Quantiles(xs, 50, 95, 99)
+	for i, p := range []float64{50, 95, 99} {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Fatalf("Quantiles p%v = %v, want %v", p, got[i], want)
+		}
+	}
+	for _, q := range Quantiles(nil, 50, 99) {
+		if q != 0 {
+			t.Fatal("empty Quantiles should be zeros")
+		}
+	}
+	// Quantiles must not mutate the input.
+	ys := []float64{3, 1, 2}
+	Quantiles(ys, 50, 99)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantiles mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty summary should be zeros")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("Fig. X", "design", "speedup")
 	tb.AddRow("PAPI", "1.8")

@@ -26,6 +26,7 @@ package papi
 import (
 	"fmt"
 
+	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
@@ -127,6 +128,65 @@ func DefaultOptions(tlp int) Options { return serving.DefaultOptions(tlp) }
 func NewEngine(sys *System, cfg Model, opt Options) (*Engine, error) {
 	return serving.New(sys, cfg, opt)
 }
+
+// Stepper advances one engine iteration-by-iteration on a caller-owned
+// clock (the resumable core shared by RunBatch, RunContinuous, and the
+// cluster simulator).
+type Stepper = serving.Stepper
+
+// RequestMetrics is one request's latency experience (TTFT, TPOT,
+// completion).
+type RequestMetrics = serving.RequestMetrics
+
+// SLO is a per-token latency service-level objective.
+type SLO = workload.SLO
+
+// SLOAttainment scores request metrics against a per-token SLO
+// (single-token requests are judged by TTFT-inclusive completion).
+func SLOAttainment(reqs []RequestMetrics, slo SLO) float64 {
+	return serving.SLOAttainment(reqs, slo)
+}
+
+// Cluster serving (fleet-level).
+
+// Cluster is a single-use fleet of replica engines behind a router.
+type Cluster = cluster.Cluster
+
+// ClusterOptions configures a fleet: replica count, admission cap, router,
+// and per-replica serving options.
+type ClusterOptions = cluster.Options
+
+// FleetResult aggregates one cluster run: per-replica results, aggregate
+// throughput and energy, and p50/p95/p99 TTFT/TPOT digests.
+type FleetResult = cluster.FleetResult
+
+// Router spreads an arrival stream over the fleet's replicas.
+type Router = cluster.Router
+
+// NewCluster builds a fleet whose replicas each own a system built by
+// newSys.
+func NewCluster(newSys func() *System, cfg Model, opt ClusterOptions) (*Cluster, error) {
+	return cluster.New(newSys, cfg, opt)
+}
+
+// NewClusterByName builds a fleet of the named system design.
+func NewClusterByName(design string, cfg Model, opt ClusterOptions) (*Cluster, error) {
+	return cluster.NewByName(design, cfg, opt)
+}
+
+// RoundRobin cycles requests through the replicas in order.
+func RoundRobin() Router { return cluster.RoundRobin() }
+
+// LeastOutstanding routes to the replica with the fewest outstanding
+// requests.
+func LeastOutstanding() Router { return cluster.LeastOutstanding() }
+
+// KVHeadroom routes to the replica with the most free KV-cache capacity.
+func KVHeadroom() Router { return cluster.KVHeadroom() }
+
+// RouterByName resolves a routing policy by display name ("round-robin",
+// "least-outstanding", "kv-headroom").
+func RouterByName(name string) (Router, error) { return cluster.RouterByName(name) }
 
 // Placement identifies where an FC kernel runs.
 type Placement = sched.Placement
