@@ -10,6 +10,7 @@ package papi
 // EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/papi-sim/papi/internal/experiments"
@@ -173,4 +174,29 @@ func BenchmarkServingIteration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Sweep-runner benchmarks: the goroutine-parallel (system, rate) fan-out
+// against the serial path on the default Capacity grid. Both produce
+// identical results (pinned by the experiments tests); the parallel runner
+// wins wall-clock on any multi-core machine.
+
+func benchCapacitySweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		experiments.CapacitySweepWorkers(experiments.CapacitySystems(), LLaMA65B(), GeneralQA(),
+			2, 64, 16, []float64{2, 5, 10, 20, 40, 80},
+			SLO{TokenLatency: Seconds(0.012)}, 0.9, workers)
+	}
+}
+
+func BenchmarkCapacitySweepSerial(b *testing.B) { benchCapacitySweep(b, 1) }
+
+func BenchmarkCapacitySweepParallel(b *testing.B) { benchCapacitySweep(b, runtime.GOMAXPROCS(0)) }
+
+func BenchmarkScenarios(b *testing.B) {
+	var r experiments.ScenariosResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Scenarios()
+	}
+	b.ReportMetric(float64(len(r.Cells)), "cells")
 }

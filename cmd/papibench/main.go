@@ -37,11 +37,12 @@ func figures() []figure {
 		{"ablation-batching", func() fmt.Stringer { return experiments.AblationBatching() }},
 		{"ablation-schedcost", func() fmt.Stringer { return experiments.AblationSchedulingCost() }},
 		{"capacity", func() fmt.Stringer { return experiments.Capacity() }},
+		{"scenarios", func() fmt.Stringer { return experiments.Scenarios() }},
 	}
 }
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios)")
 	flag.Parse()
 
 	ran := false

@@ -1,13 +1,19 @@
 // Command papiserve runs fleet-level serving simulations: N replica engines
-// of one system design consume a Poisson request stream behind a routing
-// policy, reporting aggregate throughput, energy, tail latency percentiles,
-// and SLO attainment.
+// of one system design consume a request stream behind a routing policy,
+// reporting aggregate throughput, energy, tail latency percentiles, and SLO
+// attainment. The stream comes from a flat Poisson rate, a named workload
+// scenario (bursty, diurnal, closed-loop multi-turn, long-context), or a
+// previously saved trace; any run's realised arrivals can be exported as a
+// byte-stable trace for replay.
 //
 // Examples:
 //
 //	papiserve -design PAPI -replicas 4 -router least-outstanding -rate 40 -requests 128
 //	papiserve -design A100+AttAcc -replicas 2 -router kv-headroom -slo 12
 //	papiserve -sweep 2,5,10,20,40,80 -replicas 2 -requests 64
+//	papiserve -scenario burst-creative -replicas 2 -requests 48
+//	papiserve -scenario chat-multiturn -save-trace chat.json
+//	papiserve -trace chat.json -design "PIM-only PAPI"
 package main
 
 import (
@@ -29,72 +35,157 @@ func main() {
 	var (
 		design    = flag.String("design", "PAPI", `system design: "PAPI", "A100+AttAcc", "A100+HBM-PIM", "AttAcc-only", "PIM-only PAPI"`)
 		modelName = flag.String("model", "LLaMA-65B", `model: "OPT-30B", "LLaMA-65B", "GPT-3 66B", "GPT-3 175B"`)
-		dataset   = flag.String("dataset", "general-qa", `workload: "creative-writing" or "general-qa"`)
+		dataset   = flag.String("dataset", "general-qa", `workload: "creative-writing", "general-qa", "long-context"`)
 		replicas  = flag.Int("replicas", 2, "replica engine count")
 		router    = flag.String("router", "least-outstanding", `routing policy: "round-robin", "least-outstanding", "kv-headroom"`)
 		rate      = flag.Float64("rate", 20, "offered arrival rate (requests/s)")
-		requests  = flag.Int("requests", 64, "request count in the stream")
+		requests  = flag.Int("requests", 64, "request count in the stream (conversation count for closed-loop scenarios)")
 		maxBatch  = flag.Int("maxbatch", 16, "per-replica continuous-batching admission cap")
 		spec      = flag.Int("spec", 1, "speculation length (TLP); 1 disables speculative decoding")
 		seed      = flag.Int64("seed", 42, "workload and acceptance seed")
 		sloMS     = flag.Float64("slo", 12, "TPOT SLO in milliseconds (0 = unbounded)")
 		target    = flag.Float64("target", 0.9, "attainment target for -sweep capacity headlines")
 		sweep     = flag.String("sweep", "", "comma-separated QPS ladder: run the capacity sweep over all designs instead of one fleet")
+		scenario  = flag.String("scenario", "", "named workload scenario (see docs/SCENARIOS.md); overrides -dataset/-rate")
+		traceIn   = flag.String("trace", "", "replay a saved trace file instead of generating arrivals")
+		traceOut  = flag.String("save-trace", "", "export the run's realised arrival stream as a trace file")
 	)
 	flag.Parse()
 
-	if err := run(*design, *modelName, *dataset, *router, *sweep, *replicas, *requests,
-		*maxBatch, *spec, *seed, *rate, *sloMS, *target); err != nil {
+	if err := run(options{
+		design: *design, modelName: *modelName, dataset: *dataset,
+		routerName: *router, sweep: *sweep, scenario: *scenario,
+		traceIn: *traceIn, traceOut: *traceOut,
+		replicas: *replicas, requests: *requests, maxBatch: *maxBatch,
+		spec: *spec, seed: *seed, rate: *rate, sloMS: *sloMS, target: *target,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(design, modelName, dataset, routerName, sweep string, replicas, requests,
-	maxBatch, spec int, seed int64, rate, sloMS, target float64) error {
-	cfg, err := model.ByName(modelName)
-	if err != nil {
-		return err
-	}
-	ds, err := workload.ByName(dataset)
-	if err != nil {
-		return err
-	}
-	slo := workload.SLO{TokenLatency: units.Milliseconds(sloMS)}
+type options struct {
+	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
 
-	if sweep != "" {
-		rates, err := parseRates(sweep)
+	replicas, requests, maxBatch, spec int
+	seed                               int64
+	rate, sloMS, target                float64
+}
+
+func run(o options) error {
+	cfg, err := model.ByName(o.modelName)
+	if err != nil {
+		return err
+	}
+	slo := workload.SLO{TokenLatency: units.Milliseconds(o.sloMS)}
+
+	if o.sweep != "" {
+		if o.scenario != "" || o.traceIn != "" || o.traceOut != "" {
+			return fmt.Errorf("-sweep cannot be combined with -scenario, -trace, or -save-trace")
+		}
+		ds, err := workload.ByName(o.dataset)
+		if err != nil {
+			return err
+		}
+		rates, err := parseRates(o.sweep)
 		if err != nil {
 			return err
 		}
 		res := experiments.CapacitySweep(experiments.CapacitySystems(), cfg, ds,
-			replicas, requests, maxBatch, rates, slo, target)
+			o.replicas, o.requests, o.maxBatch, rates, slo, o.target)
 		fmt.Print(res)
 		return nil
 	}
+	if o.scenario != "" && o.traceIn != "" {
+		return fmt.Errorf("-scenario and -trace are mutually exclusive")
+	}
 
-	rt, err := cluster.RouterByName(routerName)
+	rt, err := cluster.RouterByName(o.routerName)
 	if err != nil {
 		return err
 	}
-	opt := serving.DefaultOptions(spec)
-	opt.Seed = seed
-	c, err := cluster.NewByName(design, cfg, cluster.Options{
-		Replicas: replicas,
-		MaxBatch: maxBatch,
+	opt := serving.DefaultOptions(o.spec)
+	opt.Seed = o.seed
+	c, err := cluster.NewByName(o.design, cfg, cluster.Options{
+		Replicas: o.replicas,
+		MaxBatch: o.maxBatch,
 		Router:   rt,
 		Serving:  opt,
 	})
 	if err != nil {
 		return err
 	}
-	f, err := c.Run(ds.Poisson(requests, rate, seed))
-	if err != nil {
-		return err
+
+	var f *cluster.FleetResult
+	traceName, traceScenario := "papiserve", ""
+	switch {
+	case o.traceIn != "":
+		data, err := os.ReadFile(o.traceIn)
+		if err != nil {
+			return err
+		}
+		tr, err := workload.ImportTrace(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying trace %q (%d requests, scenario %q)\n", tr.Name, len(tr.Requests), tr.Scenario)
+		traceName, traceScenario = tr.Name, tr.Scenario
+		f, err = c.Run(tr.Workload())
+		if err != nil {
+			return err
+		}
+	case o.scenario != "":
+		sc, err := workload.ScenarioByName(o.scenario)
+		if err != nil {
+			return err
+		}
+		traceName, traceScenario = sc.Name, sc.Name
+		if sc.ClosedLoop() {
+			plan, err := sc.Plan(o.requests, o.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("scenario %q: %d conversations, %d turns\n",
+				sc.Name, len(plan), workload.TotalTurns(plan))
+			f, err = c.RunPlan(plan)
+			if err != nil {
+				return err
+			}
+		} else {
+			reqs, err := sc.Requests(o.requests, o.seed)
+			if err != nil {
+				return err
+			}
+			f, err = c.Run(reqs)
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		ds, err := workload.ByName(o.dataset)
+		if err != nil {
+			return err
+		}
+		f, err = c.Run(ds.Poisson(o.requests, o.rate, o.seed))
+		if err != nil {
+			return err
+		}
 	}
+
 	fmt.Print(f)
-	if sloMS > 0 {
+	if o.sloMS > 0 {
 		fmt.Printf("SLO attainment (TPOT ≤ %v): %.1f%%\n", slo.TokenLatency, 100*f.Attainment(slo))
+	}
+	if o.traceOut != "" {
+		tr := workload.NewTrace(traceName, traceScenario, o.seed, f.Stream)
+		data, err := tr.Export()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %d realised arrivals to %s\n", len(tr.Requests), o.traceOut)
 	}
 	return nil
 }

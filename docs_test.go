@@ -1,0 +1,65 @@
+package papi
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docs/SCENARIOS.md documents each registered scenario under a "## `name`"
+// heading. The doc and the registry must not drift: every documented name
+// must resolve, and every registered scenario must be documented.
+func TestScenarioDocsMatchRegistry(t *testing.T) {
+	data, err := os.ReadFile("docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("reading scenario docs: %v", err)
+	}
+	doc := string(data)
+
+	heading := regexp.MustCompile("(?m)^## `([^`]+)`$")
+	documented := map[string]bool{}
+	for _, m := range heading.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/SCENARIOS.md documents no scenarios (no \"## `name`\" headings)")
+	}
+
+	registered := map[string]bool{}
+	for _, name := range ScenarioNames() {
+		registered[name] = true
+	}
+
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/SCENARIOS.md documents %q, which is not in the scenario registry", name)
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("scenario %q is registered but undocumented in docs/SCENARIOS.md", name)
+		}
+		// Each scenario's doc section must include a runnable command.
+		if !strings.Contains(doc, "-scenario "+name) {
+			t.Errorf("docs/SCENARIOS.md has no runnable papiserve command for %q", name)
+		}
+	}
+}
+
+// docs/ARCHITECTURE.md is the layer-map entry point; keep it present and
+// linked from the README alongside the scenario doc.
+func TestArchitectureDocsLinked(t *testing.T) {
+	if _, err := os.Stat("docs/ARCHITECTURE.md"); err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md missing: %v", err)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/SCENARIOS.md"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md does not link %s", want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command scenarios walks through the workload scenario engine: the named
+// scenario registry, trace export/replay, and a closed-loop multi-turn run
+// whose realised arrivals replay against a different design.
+//
+//	go run ./examples/scenarios
+//
+// The walkthrough:
+//
+//  1. lists every registered scenario and its arrival process;
+//  2. runs the bursty creative-writing scenario on a 2-replica PAPI fleet;
+//  3. exports the realised arrival stream as a byte-stable JSON trace,
+//     re-imports it, and replays the identical traffic on the GPU-less
+//     PIM-only PAPI design — an apples-to-apples comparison no regenerated
+//     stream can guarantee;
+//  4. runs the closed-loop chat scenario, where each follow-up arrives
+//     think-time after the previous answer completes and carries the grown
+//     conversation context back to the same replica.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	fmt.Println("== registered scenarios ==")
+	for _, sc := range papi.Scenarios() {
+		mode := "open-loop"
+		if sc.ClosedLoop() {
+			mode = "closed-loop"
+		}
+		fmt.Printf("  %-15s %-11s arrivals %-28s %s\n",
+			sc.Name, mode, sc.NewArrivals().Name(), sc.Description)
+	}
+
+	// 2. A bursty scenario on the full PAPI fleet.
+	burst, err := papi.ScenarioByName("burst-creative")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := burst.Requests(48, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := func(design string) *papi.FleetResult {
+		c, err := papi.NewClusterByName(design, papi.LLaMA65B(), papi.ClusterOptions{
+			Replicas: 2,
+			MaxBatch: 16,
+			Router:   papi.LeastOutstanding(),
+			Serving:  papi.DefaultOptions(1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := c.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	fmt.Println("\n== burst-creative on PAPI ==")
+	f := fleet("PAPI")
+	fmt.Printf("%.0f tok/s · TTFT p99 %v · TPOT p99 %v\n",
+		f.TokensPerSecond(), papi.Seconds(f.TTFT.P99), papi.Seconds(f.TPOT.P99))
+
+	// 3. Export the realised stream, re-import, replay on PIM-only PAPI.
+	trace := papi.NewTrace("burst-demo", burst.Name, 42, f.Stream)
+	data, err := trace.Export()
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := papi.ImportTrace(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs = back.Workload()
+	fmt.Printf("\n== identical %d-request trace (%d bytes JSON) replayed on PIM-only PAPI ==\n",
+		len(back.Requests), len(data))
+	g := fleet("PIM-only PAPI")
+	fmt.Printf("%.0f tok/s · TTFT p99 %v · TPOT p99 %v\n",
+		g.TokensPerSecond(), papi.Seconds(g.TTFT.P99), papi.Seconds(g.TPOT.P99))
+
+	// 4. Closed-loop multi-turn chat: follow-ups arrive after completions.
+	chat, err := papi.ScenarioByName("chat-multiturn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := chat.Plan(24, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	turns := 0
+	for _, conv := range plan {
+		turns += len(conv.Turns)
+	}
+	c, err := papi.NewCluster(papi.NewPAPI, papi.LLaMA65B(), papi.ClusterOptions{
+		Replicas: 2,
+		MaxBatch: 16,
+		Router:   papi.LeastOutstanding(),
+		Serving:  papi.DefaultOptions(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := c.RunPlan(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== chat-multiturn: %d conversations → %d turns on PAPI ==\n", len(plan), turns)
+	fmt.Printf("%.0f tok/s · TTFT p50/p99 %v / %v · attainment (12 ms TPOT) %.0f%%\n",
+		h.TokensPerSecond(), papi.Seconds(h.TTFT.P50), papi.Seconds(h.TTFT.P99),
+		100*h.Attainment(papi.SLO{TokenLatency: papi.Seconds(0.012)}))
+	first, last := h.Stream[0], h.Stream[len(h.Stream)-1]
+	fmt.Printf("context growth: first request %d prompt tokens, last %d — follow-ups carry the conversation\n",
+		first.InputLen, last.InputLen)
+}

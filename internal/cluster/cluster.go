@@ -11,6 +11,14 @@
 // and replica steps are events on one shared timeline, with FIFO ordering
 // among simultaneous events, so a fixed seed reproduces the same fleet
 // trace run-to-run.
+//
+// Two entry points drive a fleet: Run consumes an open-loop request stream
+// (pre-generated arrivals — Poisson, bursty, diurnal, or a replayed
+// workload.Trace), while RunPlan consumes a closed-loop multi-turn
+// conversation plan in which each follow-up arrives think-time after the
+// previous answer completes and carries the grown context back to the same
+// replica. Both produce a FleetResult whose Stream field records the
+// realised arrivals for byte-stable trace export.
 package cluster
 
 import (
@@ -127,17 +135,24 @@ func NewByName(design string, cfg model.Config, opt Options) (*Cluster, error) {
 	return New(func() *core.System { sys, _ := core.ByName(design); return sys }, cfg, opt)
 }
 
-// Run consumes the request stream to completion and returns fleet metrics.
-// It may be called once per Cluster.
-func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
-	if c.ran {
-		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
-	}
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("cluster: empty request stream")
-	}
-	c.ran = true
+// fleetRun is the live state of one cluster simulation: the replicas, the
+// shared event kernel, the realised arrival stream (for trace export), and
+// the optional completion hook closed-loop scenarios couple follow-ups to.
+type fleetRun struct {
+	c      *Cluster
+	reps   []*Replica
+	kernel *sim.Engine
+	err    error
+	// stream records every request actually injected, in injection order —
+	// the realised arrivals a Trace replays.
+	stream []workload.Request
+	// onFinish, when set, fires once per completed request on the replica
+	// that served it, at the replica's completion instant.
+	onFinish func(rep *Replica, req workload.Request)
+}
 
+// newFleetRun builds the replica engines and the event kernel.
+func (c *Cluster) newFleetRun() (*fleetRun, error) {
 	reps := make([]*Replica, c.opt.Replicas)
 	for i := range reps {
 		opt := c.opt.Serving
@@ -152,32 +167,94 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 		}
 		reps[i] = &Replica{ID: i, engine: eng, stepper: st}
 	}
+	return &fleetRun{c: c, reps: reps, kernel: sim.New()}, nil
+}
 
-	kernel := sim.New()
-	var runErr error
+// schedule arms a replica's step event at its next work instant: it absorbs
+// any idle gap, advances one iteration, notifies the completion hook, and
+// reschedules itself while work remains. Pushes re-arm idle replicas.
+func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
+	rep.scheduled = true
+	r.kernel.At(at, func(now units.Seconds) {
+		rep.scheduled = false
+		if r.err != nil {
+			return
+		}
+		rep.stepper.AdvanceTo(now)
+		info, err := rep.stepper.Step()
+		if err != nil {
+			r.err = err
+			return
+		}
+		if r.onFinish != nil {
+			for _, req := range info.Finished {
+				r.onFinish(rep, req)
+			}
+		}
+		if info.Kind == serving.StepDrained {
+			return
+		}
+		r.schedule(rep, rep.stepper.Now())
+	})
+}
 
-	// A replica's step event fires at its next work instant: it absorbs any
-	// idle gap, advances one iteration, and reschedules itself while work
-	// remains. Pushes re-arm idle replicas.
-	var schedule func(rep *Replica, at units.Seconds)
-	schedule = func(rep *Replica, at units.Seconds) {
-		rep.scheduled = true
-		kernel.At(at, func(now units.Seconds) {
-			rep.scheduled = false
-			if runErr != nil {
-				return
-			}
-			rep.stepper.AdvanceTo(now)
-			info, err := rep.stepper.Step()
-			if err != nil {
-				runErr = err
-				return
-			}
-			if info.Kind == serving.StepDrained {
-				return
-			}
-			schedule(rep, rep.stepper.Now())
-		})
+// inject pushes a request into a replica and re-arms its step event.
+func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds) {
+	if err := rep.stepper.Push(req); err != nil {
+		r.err = err
+		return
+	}
+	r.stream = append(r.stream, req)
+	rep.routed++
+	if !rep.scheduled {
+		at := now
+		// An idle replica's clock may lead the fleet clock (it committed
+		// its last iteration past this arrival); it can only take new work
+		// at its own boundary.
+		if t := rep.Now(); t > at {
+			at = t
+		}
+		r.schedule(rep, at)
+	}
+}
+
+// route picks a replica for an arriving request via the cluster's router and
+// injects it.
+func (r *fleetRun) route(req workload.Request, now units.Seconds) *Replica {
+	idx := r.c.opt.Router.Route(req, r.reps)
+	if idx < 0 || idx >= len(r.reps) {
+		r.err = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
+			r.c.opt.Router.Name(), idx, len(r.reps))
+		return nil
+	}
+	rep := r.reps[idx]
+	r.inject(rep, req, now)
+	return rep
+}
+
+// finish drains the kernel and aggregates fleet metrics over want requests.
+func (r *fleetRun) finish(want int) (*FleetResult, error) {
+	r.kernel.Run()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return aggregate(r.c.sysName, r.c.cfg.Name, r.c.opt.Router.Name(), r.reps, r.stream, want)
+}
+
+// Run consumes the request stream to completion and returns fleet metrics.
+// It may be called once per Cluster.
+func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("cluster: empty request stream")
+	}
+	c.ran = true
+
+	r, err := c.newFleetRun()
+	if err != nil {
+		return nil, err
 	}
 
 	// Arrivals are scheduled up front in stream order, so simultaneous
@@ -193,38 +270,124 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 		if at < 0 {
 			at = 0
 		}
-		kernel.At(at, func(now units.Seconds) {
-			if runErr != nil {
+		r.kernel.At(at, func(now units.Seconds) {
+			if r.err != nil {
 				return
 			}
-			idx := c.opt.Router.Route(req, reps)
-			if idx < 0 || idx >= len(reps) {
-				runErr = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
-					c.opt.Router.Name(), idx, len(reps))
-				return
-			}
-			rep := reps[idx]
-			if err := rep.stepper.Push(req); err != nil {
-				runErr = err
-				return
-			}
-			rep.routed++
-			if !rep.scheduled {
-				at := now
-				// An idle replica's clock may lead the fleet clock (it
-				// committed its last iteration past this arrival); it can
-				// only take new work at its own boundary.
-				if t := rep.Now(); t > at {
-					at = t
-				}
-				schedule(rep, at)
-			}
+			r.route(req, now)
 		})
 	}
 
-	kernel.Run()
-	if runErr != nil {
-		return nil, runErr
+	return r.finish(len(reqs))
+}
+
+// convState tracks one closed-loop conversation through a fleet run: which
+// turn is next, how large the context has grown, and which replica holds the
+// conversation's KV state (follow-ups stick to it).
+type convState struct {
+	conv workload.Conversation
+	// baseID is the request ID of turn 0; turn k gets baseID + k, so IDs are
+	// assigned deterministically up front regardless of completion order.
+	baseID int
+	next   int // index of the next turn to launch
+	rep    *Replica
+}
+
+// RunPlan consumes a closed-loop conversation plan to completion: each
+// conversation's first turn is routed like any arrival, and every follow-up
+// turn arrives think-time after the previous answer completes, carrying the
+// full grown context (all prior turns' inputs and outputs plus the new
+// prompt tokens) back to the same replica, where its KV footprint and
+// attention cost reflect the accumulated history. Re-prefilling that history
+// is a modelling simplification — a production engine would reuse the cached
+// KV — so multi-turn prefill costs are an upper bound; docs/SCENARIOS.md
+// records this. RunPlan may be called once per Cluster, in place of Run.
+func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
 	}
-	return aggregate(c.sysName, c.cfg.Name, c.opt.Router.Name(), reps, len(reqs))
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("cluster: empty conversation plan")
+	}
+	for _, conv := range convs {
+		if len(conv.Turns) == 0 {
+			return nil, fmt.Errorf("cluster: conversation %d has no turns", conv.ID)
+		}
+	}
+	c.ran = true
+
+	r, err := c.newFleetRun()
+	if err != nil {
+		return nil, err
+	}
+
+	states := make([]*convState, len(convs))
+	byReq := make(map[int]*convState)
+	nextID := 0
+	for i, conv := range convs {
+		states[i] = &convState{conv: conv, baseID: nextID}
+		nextID += len(conv.Turns)
+	}
+
+	// A completed turn launches the conversation's next turn think-time
+	// later, on the same replica.
+	r.onFinish = func(rep *Replica, req workload.Request) {
+		st, ok := byReq[req.ID]
+		if !ok || st.next >= len(st.conv.Turns) {
+			return
+		}
+		turn := st.conv.Turns[st.next]
+		follow := workload.Request{
+			ID: st.baseID + st.next,
+			// The follow-up's prompt is the grown context: everything said
+			// so far plus the newly typed tokens.
+			InputLen:     req.SeqLen() + turn.Input,
+			OutputLen:    turn.Output,
+			Arrival:      rep.stepper.Now() + turn.Think,
+			Conversation: st.conv.ID,
+			Turn:         st.next + 1,
+		}
+		st.next++
+		byReq[follow.ID] = st
+		r.kernel.At(follow.Arrival, func(now units.Seconds) {
+			if r.err != nil {
+				return
+			}
+			r.inject(st.rep, follow, now)
+		})
+	}
+
+	// First turns are open-loop arrivals, scheduled up front in plan order.
+	order := make([]int, len(states))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return states[order[a]].conv.Arrival < states[order[b]].conv.Arrival
+	})
+	for _, i := range order {
+		st := states[i]
+		at := st.conv.Arrival
+		if at < 0 {
+			at = 0
+		}
+		first := workload.Request{
+			ID:           st.baseID,
+			InputLen:     st.conv.Turns[0].Input,
+			OutputLen:    st.conv.Turns[0].Output,
+			Arrival:      st.conv.Arrival,
+			Conversation: st.conv.ID,
+			Turn:         1,
+		}
+		st.next = 1
+		byReq[first.ID] = st
+		r.kernel.At(at, func(now units.Seconds) {
+			if r.err != nil {
+				return
+			}
+			st.rep = r.route(first, now)
+		})
+	}
+
+	return r.finish(workload.TotalTurns(convs))
 }

@@ -28,6 +28,13 @@ type FleetResult struct {
 	// latencies), sorted by request ID.
 	Requests []serving.RequestMetrics
 
+	// Stream is the realised arrival stream — every request the fleet
+	// actually served, with its concrete arrival instant, sorted by arrival
+	// then ID. For closed-loop runs this is where the simulation-dependent
+	// follow-up arrivals become concrete, so wrapping it in a
+	// workload.Trace replays the exact same traffic open-loop.
+	Stream []workload.Request
+
 	// Makespan is the instant the last replica finished, on the shared
 	// fleet clock.
 	Makespan units.Seconds
@@ -44,8 +51,15 @@ type FleetResult struct {
 }
 
 // aggregate finalises every replica and folds the fleet metrics.
-func aggregate(system, model, router string, reps []*Replica, want int) (*FleetResult, error) {
+func aggregate(system, model, router string, reps []*Replica, stream []workload.Request, want int) (*FleetResult, error) {
 	f := &FleetResult{System: system, Model: model, Router: router}
+	f.Stream = append([]workload.Request(nil), stream...)
+	sort.SliceStable(f.Stream, func(i, j int) bool {
+		if f.Stream[i].Arrival != f.Stream[j].Arrival {
+			return f.Stream[i].Arrival < f.Stream[j].Arrival
+		}
+		return f.Stream[i].ID < f.Stream[j].ID
+	})
 	var ttfts, tpots []float64
 	for _, rep := range reps {
 		res := rep.stepper.Finalize()

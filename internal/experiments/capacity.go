@@ -74,9 +74,20 @@ func Capacity() CapacityResult {
 // CapacitySweep measures SLO attainment for every (system, offered-QPS)
 // pair: each point runs a fresh fleet of `replicas` engines over a seeded
 // Poisson stream of `requests` arrivals at that rate, so all systems face
-// identical traffic.
+// identical traffic. Cells run on a worker pool sized to the machine; every
+// cell is seeded independently, so the result is identical to the serial
+// evaluation (see CapacitySweepWorkers).
 func CapacitySweep(systems []CapacitySystem, cfg model.Config, ds workload.Dataset,
 	replicas, requests, maxBatch int, rates []float64, slo workload.SLO, target float64) CapacityResult {
+	return CapacitySweepWorkers(systems, cfg, ds, replicas, requests, maxBatch, rates, slo, target, defaultWorkers())
+}
+
+// CapacitySweepWorkers is CapacitySweep with an explicit worker-pool size;
+// workers ≤ 1 evaluates the grid serially. Both paths produce identical
+// results — the tests pin that equivalence.
+func CapacitySweepWorkers(systems []CapacitySystem, cfg model.Config, ds workload.Dataset,
+	replicas, requests, maxBatch int, rates []float64, slo workload.SLO, target float64,
+	workers int) CapacityResult {
 	out := CapacityResult{
 		Model:    cfg.Name,
 		Dataset:  ds.Name,
@@ -85,33 +96,48 @@ func CapacitySweep(systems []CapacitySystem, cfg model.Config, ds workload.Datas
 		SLO:      slo,
 		Target:   target,
 	}
+
+	type cell struct {
+		sys  CapacitySystem
+		rate float64
+	}
+	var cells []cell
 	for _, sys := range systems {
-		curve := CapacityCurve{System: sys.Name}
 		for _, rate := range rates {
-			reqs := ds.Poisson(requests, rate, Seed)
-			c, err := cluster.New(sys.New, cfg, cluster.Options{
-				Replicas: replicas,
-				MaxBatch: maxBatch,
-				Router:   cluster.LeastOutstanding(),
-				Serving:  serving.DefaultOptions(1),
-			})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: capacity %s @ %g qps: %v", sys.Name, rate, err))
-			}
-			f, err := c.Run(reqs)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: capacity %s @ %g qps: %v", sys.Name, rate, err))
-			}
-			att := f.Attainment(slo)
-			curve.Points = append(curve.Points, CapacityPoint{
-				QPS:          rate,
-				Attainment:   att,
-				TTFTP99:      units.Seconds(f.TTFT.P99),
-				TPOTP99:      units.Seconds(f.TPOT.P99),
-				TokensPerSec: f.TokensPerSecond(),
-			})
-			if att >= target && rate > curve.MaxQPS {
-				curve.MaxQPS = rate
+			cells = append(cells, cell{sys: sys, rate: rate})
+		}
+	}
+	points := parallelMap(cells, workers, func(c cell) CapacityPoint {
+		reqs := ds.Poisson(requests, c.rate, Seed)
+		cl, err := cluster.New(c.sys.New, cfg, cluster.Options{
+			Replicas: replicas,
+			MaxBatch: maxBatch,
+			Router:   cluster.LeastOutstanding(),
+			Serving:  serving.DefaultOptions(1),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: capacity %s @ %g qps: %v", c.sys.Name, c.rate, err))
+		}
+		f, err := cl.Run(reqs)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: capacity %s @ %g qps: %v", c.sys.Name, c.rate, err))
+		}
+		return CapacityPoint{
+			QPS:          c.rate,
+			Attainment:   f.Attainment(slo),
+			TTFTP99:      units.Seconds(f.TTFT.P99),
+			TPOTP99:      units.Seconds(f.TPOT.P99),
+			TokensPerSec: f.TokensPerSecond(),
+		}
+	})
+
+	for si, sys := range systems {
+		curve := CapacityCurve{System: sys.Name}
+		for ri := range rates {
+			p := points[si*len(rates)+ri]
+			curve.Points = append(curve.Points, p)
+			if p.Attainment >= target && p.QPS > curve.MaxQPS {
+				curve.MaxQPS = p.QPS
 			}
 		}
 		out.Curves = append(out.Curves, curve)

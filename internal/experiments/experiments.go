@@ -1,10 +1,15 @@
 // Package experiments contains one driver per figure in the paper's
-// evaluation (§3 and §7). Each driver runs the relevant simulation sweep and
-// returns a typed result with a String() rendering; cmd/papibench prints them
-// all and EXPERIMENTS.md records the outcomes next to the paper's numbers.
+// evaluation (§3 and §7), plus the fleet-scale sweeps grown on top: the
+// Capacity QPS sweep (max sustainable rate under a TPOT SLO) and the
+// Scenarios sweep (every registered workload regime × the comparison
+// designs). Each driver runs the relevant simulation sweep and returns a
+// typed result with a String() rendering; cmd/papibench prints them all and
+// EXPERIMENTS.md records the outcomes next to the paper's numbers.
 //
 // The drivers are deterministic (fixed seeds) so regenerated tables are
-// stable across runs and machines.
+// stable across runs and machines — including the sweeps that fan their
+// (scenario, design) cells out over a worker pool, because every cell is
+// independently seeded and results are folded in input order.
 package experiments
 
 import (

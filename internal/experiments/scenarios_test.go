@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+func smallScenarioSweep(workers int) ScenariosResult {
+	return ScenariosSweep(workload.Scenarios(), CapacitySystems(), model.LLaMA65B(),
+		2, 12, 8, workload.SLO{TokenLatency: units.Milliseconds(12)}, workers)
+}
+
+// The acceptance bar: the parallel sweep runner must return results
+// identical to the serial path — cell for cell, bit for bit.
+func TestScenariosParallelMatchesSerial(t *testing.T) {
+	serial := smallScenarioSweep(1)
+	parallel := smallScenarioSweep(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestCapacityParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) CapacityResult {
+		return CapacitySweepWorkers(CapacitySystems(), model.LLaMA65B(), workload.GeneralQA(),
+			2, 24, 8, []float64{5, 20, 80}, workload.SLO{TokenLatency: units.Milliseconds(12)}, 0.9, workers)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel capacity sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestScenariosSweepCoversGridDeterministically(t *testing.T) {
+	a := smallScenarioSweep(4)
+	b := smallScenarioSweep(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("scenario sweep diverged between identical runs")
+	}
+	wantCells := len(workload.Scenarios()) * len(CapacitySystems())
+	if len(a.Cells) != wantCells {
+		t.Fatalf("sweep has %d cells, want %d", len(a.Cells), wantCells)
+	}
+	i := 0
+	for _, sc := range workload.Scenarios() {
+		for _, sys := range CapacitySystems() {
+			c := a.Cells[i]
+			if c.Scenario != sc.Name || c.System != sys.Name {
+				t.Fatalf("cell %d is (%s, %s), want (%s, %s): parallel fold broke ordering",
+					i, c.Scenario, c.System, sc.Name, sys.Name)
+			}
+			if c.Requests <= 0 || c.Tokens <= 0 || c.TokensPerSec <= 0 || c.Energy <= 0 {
+				t.Fatalf("cell %d degenerate: %+v", i, c)
+			}
+			i++
+		}
+	}
+	// Within a scenario, every design faces identical traffic, so the served
+	// request count must agree across systems.
+	for i := 0; i < len(a.Cells); i += len(CapacitySystems()) {
+		for j := 1; j < len(CapacitySystems()); j++ {
+			if a.Cells[i+j].Requests != a.Cells[i].Requests {
+				t.Fatalf("scenario %s served %d requests on %s but %d on %s",
+					a.Cells[i].Scenario, a.Cells[i].Requests, a.Cells[i].System,
+					a.Cells[i+j].Requests, a.Cells[i+j].System)
+			}
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "chat-multiturn") || !strings.Contains(s, "PIM-only PAPI") {
+		t.Fatalf("rendering missing cells:\n%s", s)
+	}
+}
+
+// The multi-turn scenario must serve more requests than conversations (the
+// closed loop actually generates follow-ups) and grow per-request context.
+func TestScenariosMultiTurnServesFollowUps(t *testing.T) {
+	res := smallScenarioSweep(2)
+	for _, c := range res.Cells {
+		if c.Scenario != workload.ScenarioChatMultiTurn {
+			continue
+		}
+		if c.Requests <= res.Count {
+			t.Fatalf("%s on %s served %d requests for %d conversations; follow-ups missing",
+				c.Scenario, c.System, c.Requests, res.Count)
+		}
+	}
+}
+
+func TestParallelMapOrderAndPanic(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	got := parallelMap(items, 8, func(x int) int { return x * x })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d: order not preserved", i, v, i*i)
+		}
+	}
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	parallelMap(items, 8, func(x int) int {
+		if x%3 == 0 {
+			panic("boom")
+		}
+		return x
+	})
+}

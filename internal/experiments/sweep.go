@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// sweepCell carries one worker's output back to its input slot.
+type sweepCell[R any] struct {
+	idx int
+	out R
+}
+
+// parallelMap runs fn over every item on a pool of `workers` goroutines and
+// returns the results in input order, so a parallel sweep is
+// indistinguishable from the serial one as long as fn(item) is independent
+// of evaluation order — which holds for the experiment sweeps: every cell
+// builds its own cluster from fixed seeds. workers ≤ 1 runs serially on the
+// calling goroutine. A panic inside fn is re-raised on the caller.
+func parallelMap[T, R any](items []T, workers int, fn func(T) R) []R {
+	out := make([]R, len(items))
+	if workers <= 1 || len(items) <= 1 {
+		for i, it := range items {
+			out[i] = fn(it)
+		}
+		return out
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	jobs := make(chan int)
+	results := make(chan sweepCell[R])
+	panics := make(chan any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							// Keep only the first panic; a worker may trip
+							// on several items and must never block here.
+							select {
+							case panics <- p:
+							default:
+							}
+						}
+					}()
+					results <- sweepCell[R]{idx: i, out: fn(items[i])}
+				}()
+			}
+		}()
+	}
+	go func() {
+		for i := range items {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+		close(panics)
+	}()
+	for c := range results {
+		out[c.idx] = c.out
+	}
+	if p, ok := <-panics; ok {
+		panic(p)
+	}
+	return out
+}
+
+// defaultWorkers sizes the sweep pool to the machine.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

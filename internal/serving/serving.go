@@ -4,6 +4,15 @@
 // finish (§3.2, Fig. 3), per-iteration FC placement by the system's
 // scheduling policy (§5), and full time/energy accounting with the
 // FC / attention / communication / other breakdown of Fig. 12.
+//
+// The engine runs in two batching modes — RunBatch (static) and
+// RunContinuous (mixed continuous batching) — both thin wrappers around
+// Stepper, the resumable admit → decide → iterate → commit core that
+// advances one iteration per Step on a caller-owned clock. External arrival
+// owners (the fleet simulator in internal/cluster, closed-loop multi-turn
+// scenarios) inject requests mid-run with Push and observe completions via
+// StepInfo.Finished. Per-request latency metrics (TTFT, TPOT, completion)
+// and SLO attainment live in metrics.go.
 package serving
 
 import (

@@ -32,6 +32,10 @@ type StepInfo struct {
 	Iteration IterationStat
 	// Completed is how many requests reached <|eos|> this step.
 	Completed int
+	// Finished lists the requests that reached <|eos|> this step, in active
+	// order — the hook closed-loop arrival owners (multi-turn conversations
+	// in internal/cluster) use to couple a follow-up Push to a completion.
+	Finished []workload.Request
 }
 
 // Stepper is the resumable core of the serving engine: the iteration loop
@@ -279,6 +283,7 @@ func (s *Stepper) Step() (StepInfo, error) {
 		s.tracker.observe(r, committed, s.clock, epoch)
 		if r.done {
 			eos++
+			info.Finished = append(info.Finished, r.Request)
 		}
 	}
 	if len(s.res.IterStats) < traceCap {

@@ -190,3 +190,40 @@ func TestStepperMisuse(t *testing.T) {
 		t.Error("pushing a zero-length request should fail")
 	}
 }
+
+func TestStepInfoFinishedReportsCompletions(t *testing.T) {
+	// StepInfo.Finished is the completion hook closed-loop arrival owners
+	// build on: every request must appear exactly once, in the step whose
+	// Completed count it contributes to.
+	e := mustEngine(t, core.NewPAPI(0), model.LLaMA65B(), DefaultOptions(1))
+	reqs := workload.GeneralQA().Poisson(12, 50, 5)
+	s, err := e.NewStreamStepper(reqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for {
+		info, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Kind == StepDrained {
+			break
+		}
+		if len(info.Finished) != info.Completed {
+			t.Fatalf("step reports %d completed but lists %d finished", info.Completed, len(info.Finished))
+		}
+		for _, r := range info.Finished {
+			if seen[r.ID] {
+				t.Fatalf("request %d finished twice", r.ID)
+			}
+			seen[r.ID] = true
+			if r.InputLen <= 0 || r.OutputLen <= 0 {
+				t.Fatalf("finished request %d lost its lengths: %+v", r.ID, r)
+			}
+		}
+	}
+	if len(seen) != len(reqs) {
+		t.Fatalf("finished %d of %d requests", len(seen), len(reqs))
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+func processes() []func() ArrivalProcess {
+	return []func() ArrivalProcess{
+		func() ArrivalProcess { return NewPoisson(20) },
+		func() ArrivalProcess { return NewOnOff(40, 2, units.Seconds(1.5), units.Seconds(4)) },
+		func() ArrivalProcess { return NewDiurnal(12, 0.8, units.Seconds(20)) },
+	}
+}
+
+func TestArrivalTimesIncreaseStrictly(t *testing.T) {
+	for _, mk := range processes() {
+		p := mk()
+		times := ArrivalTimes(p, 200, rand.New(rand.NewSource(7)))
+		if len(times) != 200 {
+			t.Fatalf("%s: got %d times", p.Name(), len(times))
+		}
+		prev := units.Seconds(0)
+		for i, at := range times {
+			if at <= prev {
+				t.Fatalf("%s: arrival %d at %v not after %v", p.Name(), i, at, prev)
+			}
+			prev = at
+		}
+	}
+}
+
+func TestArrivalTimesDeterministic(t *testing.T) {
+	for _, mk := range processes() {
+		a := ArrivalTimes(mk(), 100, rand.New(rand.NewSource(3)))
+		b := ArrivalTimes(mk(), 100, rand.New(rand.NewSource(3)))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs: %v vs %v", mk().Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The empirical rate of each process should sit near its configured mean:
+// Poisson at Rate, diurnal at Base (the sinusoid averages out over whole
+// periods), and on-off between the lull and burst rates.
+func TestArrivalProcessMeanRates(t *testing.T) {
+	const n = 4000
+	rate := func(p ArrivalProcess) float64 {
+		times := ArrivalTimes(p, n, rand.New(rand.NewSource(11)))
+		return n / float64(times[n-1])
+	}
+
+	if r := rate(NewPoisson(20)); math.Abs(r-20) > 2 {
+		t.Errorf("poisson empirical rate %.1f, want ≈ 20", r)
+	}
+	if r := rate(NewDiurnal(12, 0.8, units.Seconds(20))); math.Abs(r-12) > 2 {
+		t.Errorf("diurnal empirical rate %.1f, want ≈ 12", r)
+	}
+	// On-off: expected long-run rate is the dwell-weighted phase mix.
+	burst, lull := 40.0, 2.0
+	mb, ml := 1.5, 4.0
+	want := (burst*mb + lull*ml) / (mb + ml)
+	if r := rate(NewOnOff(burst, lull, units.Seconds(mb), units.Seconds(ml))); math.Abs(r-want)/want > 0.2 {
+		t.Errorf("on-off empirical rate %.1f, want ≈ %.1f", r, want)
+	}
+}
+
+// Burstiness: the on-off process must have a markedly higher inter-arrival
+// coefficient of variation than a Poisson stream of the same mean rate
+// (CV = 1 for exponential gaps).
+func TestOnOffIsBurstier(t *testing.T) {
+	const n = 4000
+	cv := func(p ArrivalProcess) float64 {
+		times := ArrivalTimes(p, n, rand.New(rand.NewSource(5)))
+		gaps := make([]float64, n-1)
+		mean := 0.0
+		for i := 1; i < n; i++ {
+			gaps[i-1] = float64(times[i] - times[i-1])
+			mean += gaps[i-1]
+		}
+		mean /= float64(n - 1)
+		varsum := 0.0
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(varsum/float64(n-1)) / mean
+	}
+	onoff := cv(NewOnOff(40, 2, units.Seconds(1.5), units.Seconds(4)))
+	poisson := cv(NewPoisson(20))
+	if onoff < 1.3*poisson {
+		t.Errorf("on-off CV %.2f not clearly burstier than poisson CV %.2f", onoff, poisson)
+	}
+}
+
+// The diurnal rate curve must stay within its configured envelope and the
+// thinning sampler must track it: arrivals should be denser near the peak
+// quarter-period than near the trough.
+func TestDiurnalRateEnvelope(t *testing.T) {
+	p := NewDiurnal(10, 0.5, units.Seconds(40))
+	for _, tt := range []units.Seconds{0, 5, 10, 15, 20, 25, 30, 35} {
+		r := p.Rate(tt)
+		if r < 10*(1-0.5)-1e-9 || r > 10*(1+0.5)+1e-9 {
+			t.Fatalf("rate %v at t=%v outside envelope [5, 15]", r, tt)
+		}
+	}
+	// Count arrivals in the peak window [5,15) vs the trough window [25,35)
+	// of the first period, over many periods worth of arrivals.
+	times := ArrivalTimes(NewDiurnal(10, 0.9, units.Seconds(40)), 8000, rand.New(rand.NewSource(9)))
+	peak, trough := 0, 0
+	for _, at := range times {
+		phase := math.Mod(float64(at), 40)
+		switch {
+		case phase >= 5 && phase < 15:
+			peak++
+		case phase >= 25 && phase < 35:
+			trough++
+		}
+	}
+	if peak <= 2*trough {
+		t.Errorf("peak window has %d arrivals vs trough %d; want clear diurnal skew", peak, trough)
+	}
+}
+
+func TestArrivalConstructorsRejectDegenerateParams(t *testing.T) {
+	mustPanic := func(label string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: degenerate parameters accepted", label)
+			}
+		}()
+		fn()
+	}
+	mustPanic("poisson zero rate", func() { NewPoisson(0) })
+	mustPanic("on-off zero lull rate", func() { NewOnOff(40, 0, units.Seconds(1), units.Seconds(1)) })
+	mustPanic("on-off zero dwell", func() { NewOnOff(40, 2, 0, units.Seconds(1)) })
+	mustPanic("diurnal zero base", func() { NewDiurnal(0, 0.5, units.Seconds(10)) })
+	mustPanic("diurnal amplitude 1", func() { NewDiurnal(10, 1, units.Seconds(10)) })
+	mustPanic("diurnal zero period", func() { NewDiurnal(10, 0.5, 0) })
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScenarioRegistryResolves(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 4 {
+		t.Fatalf("registry has %d scenarios, want ≥ 4", len(names))
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate scenario name %q", name)
+		}
+		seen[name] = true
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name || sc.Description == "" || len(sc.Mix) == 0 || sc.NewArrivals == nil {
+			t.Fatalf("scenario %q is incompletely specified: %+v", name, sc)
+		}
+	}
+	if _, err := ScenarioByName("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario resolved")
+	}
+}
+
+// Every registered scenario must realise identically for a fixed seed —
+// open-loop streams and closed-loop plans alike.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if sc.ClosedLoop() {
+				a, err := sc.Plan(24, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sc.Plan(24, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatal("closed-loop plan differs between identically seeded generations")
+				}
+				c, err := sc.Plan(24, 43)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reflect.DeepEqual(a, c) {
+					t.Fatal("plan identical across different seeds")
+				}
+			} else {
+				a, err := sc.Requests(48, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sc.Requests(48, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatal("request stream differs between identically seeded generations")
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioModeMismatch(t *testing.T) {
+	open, err := ScenarioByName(ScenarioSteadyQA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Plan(8, 1); err == nil {
+		t.Fatal("open-loop scenario produced a conversation plan")
+	}
+	closed, err := ScenarioByName(ScenarioChatMultiTurn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := closed.Requests(8, 1); err == nil {
+		t.Fatal("closed-loop scenario produced an open-loop stream")
+	}
+	if _, err := open.Requests(0, 1); err == nil {
+		t.Fatal("zero-count stream accepted")
+	}
+	if _, err := closed.Plan(0, 1); err == nil {
+		t.Fatal("zero-count plan accepted")
+	}
+}
+
+func TestMultiTurnPlanShape(t *testing.T) {
+	sc, err := ScenarioByName(ScenarioChatMultiTurn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convs, err := sc.Plan(32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := sc.MultiTurn
+	sawMulti := false
+	for _, c := range convs {
+		if len(c.Turns) < mt.MinTurns || len(c.Turns) > mt.MaxTurns {
+			t.Fatalf("conversation %d has %d turns outside [%d, %d]", c.ID, len(c.Turns), mt.MinTurns, mt.MaxTurns)
+		}
+		if len(c.Turns) > 1 {
+			sawMulti = true
+		}
+		for k, turn := range c.Turns {
+			if turn.Input <= 0 || turn.Output <= 0 {
+				t.Fatalf("conversation %d turn %d has non-positive lengths", c.ID, k)
+			}
+			if k == 0 && turn.Think != 0 {
+				t.Fatalf("conversation %d first turn has think time %v", c.ID, turn.Think)
+			}
+			if k > 0 && turn.Think < mt.Think.Min {
+				t.Fatalf("conversation %d turn %d think %v below min %v", c.ID, k, turn.Think, mt.Think.Min)
+			}
+		}
+	}
+	if !sawMulti {
+		t.Fatal("no conversation has more than one turn")
+	}
+	if got := TotalTurns(convs); got < 2*len(convs) {
+		t.Fatalf("total turns %d implausibly low for %d conversations", got, len(convs))
+	}
+}
+
+// The diurnal-mixed scenario samples both mix components.
+func TestScenarioMixtureSamplesBothComponents(t *testing.T) {
+	sc, err := ScenarioByName(ScenarioDiurnalMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := sc.Requests(400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Creative-writing outputs are several times longer than qa answers;
+	// with a 70/30 mix, the stream must contain both short and long tails.
+	short, long := 0, 0
+	for _, r := range reqs {
+		if r.OutputLen >= 300 {
+			long++
+		}
+		if r.OutputLen <= 150 {
+			short++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("mixture degenerate: %d short, %d long outputs of %d", short, long, len(reqs))
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// TraceRequest is one request in a saved trace. Arrival is kept in seconds as
+// a float64: Go marshals float64 with the shortest round-tripping decimal
+// representation, so export → import → export is byte-identical.
+type TraceRequest struct {
+	ID        int     `json:"id"`
+	InputLen  int     `json:"input"`
+	OutputLen int     `json:"output"`
+	Arrival   float64 `json:"arrival_s"`
+	// Conversation and Turn mirror Request.Conversation/Turn: Turn is
+	// 1-based within a closed-loop conversation, 0 (omitted) for open-loop
+	// requests.
+	Conversation int `json:"conversation,omitempty"`
+	Turn         int `json:"turn,omitempty"`
+}
+
+// Trace is a saved request stream: a scenario realisation (or any recorded
+// run) that can be replayed byte-stably. Replaying a trace sidesteps the
+// arrival process entirely — the arrivals are literal — so a bursty or
+// closed-loop realisation can be re-fed to a different design or router and
+// every system faces exactly the same traffic.
+type Trace struct {
+	Name     string         `json:"name"`
+	Scenario string         `json:"scenario,omitempty"`
+	Seed     int64          `json:"seed"`
+	Requests []TraceRequest `json:"requests"`
+}
+
+// NewTrace records a request stream under a name. A negative arrival means
+// "already waiting at start" and is recorded as zero, which replays
+// identically.
+func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
+	t := Trace{Name: name, Scenario: scenario, Seed: seed}
+	t.Requests = make([]TraceRequest, len(reqs))
+	for i, r := range reqs {
+		arr := float64(r.Arrival)
+		if arr < 0 {
+			arr = 0
+		}
+		t.Requests[i] = TraceRequest{
+			ID:           r.ID,
+			InputLen:     r.InputLen,
+			OutputLen:    r.OutputLen,
+			Arrival:      arr,
+			Conversation: r.Conversation,
+			Turn:         r.Turn,
+		}
+	}
+	return t
+}
+
+// Workload converts the trace back into a runnable request stream.
+func (t Trace) Workload() []Request {
+	reqs := make([]Request, len(t.Requests))
+	for i, r := range t.Requests {
+		reqs[i] = Request{
+			ID:           r.ID,
+			InputLen:     r.InputLen,
+			OutputLen:    r.OutputLen,
+			Arrival:      units.Seconds(r.Arrival),
+			Conversation: r.Conversation,
+			Turn:         r.Turn,
+		}
+	}
+	return reqs
+}
+
+// Export serialises the trace as indented JSON with a trailing newline.
+// Serialisation is deterministic: struct fields marshal in declaration order
+// and float64s use the shortest round-tripping form, so the same trace always
+// yields the same bytes.
+func (t Trace) Export() ([]byte, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ImportTrace parses and validates an exported trace.
+func ImportTrace(data []byte) (Trace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("workload: invalid trace: %w", err)
+	}
+	if err := t.validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+func (t Trace) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("workload: trace has no name")
+	}
+	if len(t.Requests) == 0 {
+		return fmt.Errorf("workload: trace %q has no requests", t.Name)
+	}
+	seen := make(map[int]bool, len(t.Requests))
+	for _, r := range t.Requests {
+		if r.InputLen <= 0 || r.OutputLen <= 0 {
+			return fmt.Errorf("workload: trace %q request %d has non-positive lengths", t.Name, r.ID)
+		}
+		if r.Arrival < 0 {
+			return fmt.Errorf("workload: trace %q request %d arrives at negative time %g", t.Name, r.ID, r.Arrival)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("workload: trace %q has duplicate request ID %d", t.Name, r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}

@@ -10,6 +10,13 @@
 // log-normal length distributions whose medians and spreads match the
 // published Dolly statistics: creative-writing responses are several times
 // longer than general-qa answers. DESIGN.md §1 records this substitution.
+//
+// On top of the length distributions sit the scenario engine's pieces:
+// ArrivalProcess implementations (stationary Poisson, bursty on-off,
+// diurnal) shape when requests arrive, Scenario crosses an arrival process
+// with a length mix (optionally closed-loop multi-turn), and Trace saves any
+// realisation as byte-stable JSON for replay. docs/SCENARIOS.md documents
+// the named scenarios in the registry.
 package workload
 
 import (
@@ -26,6 +33,13 @@ type Request struct {
 	InputLen  int           // prompt tokens
 	OutputLen int           // tokens the model will generate (incl. <|eos|>)
 	Arrival   units.Seconds // arrival time for continuous-batching scenarios
+	// Conversation and Turn tie a closed-loop request back to its
+	// multi-turn conversation: Turn is 1-based within the conversation, and
+	// Turn = 0 marks an open-loop request (Conversation is then
+	// meaningless). The cluster's conversation driver fills them so
+	// exported traces keep their dialogue structure.
+	Conversation int
+	Turn         int
 }
 
 // SeqLen returns the final sequence length (KV footprint driver).
@@ -92,12 +106,16 @@ func ByName(name string) (Dataset, error) {
 		return CreativeWriting(), nil
 	case "general-qa":
 		return GeneralQA(), nil
+	case "long-context":
+		return LongContext(), nil
 	}
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
 }
 
 // Generate draws n requests deterministically from the seed. Arrivals are
-// zero (a ready batch); use Poisson for online-arrival scenarios.
+// zero (a ready batch, for static batching). Online-arrival streams come
+// from an ArrivalProcess — directly via Scenario.Requests, or through the
+// Poisson convenience method below for a plain stationary stream.
 func (d Dataset) Generate(n int, seed int64) []Request {
 	rng := rand.New(rand.NewSource(seed))
 	reqs := make([]Request, n)
@@ -113,6 +131,8 @@ func (d Dataset) Generate(n int, seed int64) []Request {
 
 // Poisson draws n requests with exponential inter-arrival gaps at the given
 // mean rate (requests/second), for dynamic-batching scenarios (§3.2(c)).
+// It is the stationary special case of the ArrivalProcess family; richer
+// arrival shapes (bursty, diurnal, closed-loop) come from Scenario.
 func (d Dataset) Poisson(n int, ratePerSec float64, seed int64) []Request {
 	if ratePerSec <= 0 {
 		return d.Generate(n, seed)

@@ -9,7 +9,9 @@
 //     dynamic parallelism-aware scheduler) and the baselines A100+AttAcc,
 //     A100+HBM-PIM, AttAcc-only, and PIM-only PAPI;
 //   - the evaluation LLMs (OPT-30B, LLaMA-65B, GPT-3 66B/175B) and the
-//     Dolly-like workload generators;
+//     Dolly-like workload generators, plus the scenario engine: named
+//     workload regimes (steady, bursty, diurnal, closed-loop multi-turn,
+//     long-context) and byte-stable trace export/replay;
 //   - the serving engine (static and mixed continuous batching, speculative
 //     decoding) with full time and energy accounting;
 //   - every figure reproduction from the paper's evaluation section.
@@ -105,8 +107,59 @@ func CreativeWriting() Dataset { return workload.CreativeWriting() }
 // GeneralQA returns the short-answer workload.
 func GeneralQA() Dataset { return workload.GeneralQA() }
 
+// LongContext returns the document-grounded workload (multi-thousand-token
+// prompts, moderate answers).
+func LongContext() Dataset { return workload.LongContext() }
+
 // DatasetByName resolves a dataset by name.
 func DatasetByName(name string) (Dataset, error) { return workload.ByName(name) }
+
+// Scenario engine: arrival processes × length mixes, saved traces, and the
+// named-scenario registry (see docs/SCENARIOS.md).
+
+// Scenario is a named workload regime: an arrival process crossed with a
+// length mix, optionally closed-loop multi-turn.
+type Scenario = workload.Scenario
+
+// ArrivalProcess generates request arrival instants (Poisson, bursty on-off,
+// diurnal).
+type ArrivalProcess = workload.ArrivalProcess
+
+// Trace is a saved request stream with byte-stable JSON export/import.
+type Trace = workload.Trace
+
+// Conversation is one pre-sampled closed-loop multi-turn conversation.
+type Conversation = workload.Conversation
+
+// Scenarios returns the registered scenarios in presentation order.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioNames lists the registered scenario names.
+func ScenarioNames() []string { return workload.ScenarioNames() }
+
+// ScenarioByName resolves a registered scenario.
+func ScenarioByName(name string) (Scenario, error) { return workload.ScenarioByName(name) }
+
+// NewPoisson returns a stationary Poisson arrival process.
+func NewPoisson(ratePerSec float64) ArrivalProcess { return workload.NewPoisson(ratePerSec) }
+
+// NewOnOff returns a bursty Markov-modulated on-off arrival process.
+func NewOnOff(burstRate, baseRate float64, meanBurst, meanLull Seconds) ArrivalProcess {
+	return workload.NewOnOff(burstRate, baseRate, meanBurst, meanLull)
+}
+
+// NewDiurnal returns a sinusoidal-rate arrival process.
+func NewDiurnal(base, amplitude float64, period Seconds) ArrivalProcess {
+	return workload.NewDiurnal(base, amplitude, period)
+}
+
+// NewTrace records a request stream as a replayable trace.
+func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
+	return workload.NewTrace(name, scenario, seed, reqs)
+}
+
+// ImportTrace parses and validates an exported trace.
+func ImportTrace(data []byte) (Trace, error) { return workload.ImportTrace(data) }
 
 // Serving.
 
