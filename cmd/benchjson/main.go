@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, and diffs two such documents — the repo's perf-trajectory
+// tooling (scripts/bench.sh writes BENCH_PR<N>.json snapshots; diffing two
+// snapshots shows what a PR did to the hot paths).
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_PR3.json
+//	benchjson -diff BENCH_PR2.json BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's measurements: the metric map carries the
+// standard go-test units (ns/op, B/op, allocs/op) plus any custom
+// b.ReportMetric units (e.g. papi-vs-a100attacc-x).
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the JSON snapshot benchjson emits.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parse(r io.Reader) (Document, error) {
+	var doc Document
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the -<GOMAXPROCS> suffix so snapshots from different
+		// machines compare by benchmark identity.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Runs: runs, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}
+
+func load(path string) (Document, error) {
+	var doc Document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	err = json.Unmarshal(data, &doc)
+	return doc, err
+}
+
+// diff renders old-vs-new for the units both snapshots share, and flags
+// benchmarks that appear on only one side — a tracked hot-path benchmark
+// silently disappearing is exactly what this tool exists to catch.
+func diff(oldDoc, newDoc Document, w io.Writer) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]bool{}
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = true
+	}
+	fmt.Fprintf(w, "%-34s %-12s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, ob := range oldDoc.Benchmarks {
+		if !newBy[ob.Name] {
+			fmt.Fprintf(w, "%-34s %-12s %14s %14s %9s\n", ob.Name, "", "", "(absent)", "removed")
+		}
+	}
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %-12s %14s %14s %9s\n", nb.Name, "", "(absent)", "", "new")
+			continue
+		}
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			if _, ok := ob.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			o, n := ob.Metrics[u], nb.Metrics[u]
+			delta := "~"
+			if o != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+			}
+			fmt.Fprintf(w, "%-34s %-12s %14.4g %14.4g %9s\n", nb.Name, u, o, n, delta)
+		}
+	}
+}
+
+func main() {
+	diffMode := flag.Bool("diff", false, "diff two BENCH json files instead of converting bench output")
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		oldDoc, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		newDoc, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		diff(oldDoc, newDoc, os.Stdout)
+		return
+	}
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

@@ -1,16 +1,22 @@
 // Command papibench regenerates every figure of the paper's evaluation
 // section and prints the tables EXPERIMENTS.md records.
 //
-//	papibench            # all figures and ablations
-//	papibench -figure 8  # one figure
+//	papibench                      # all figures and ablations
+//	papibench -figure 8            # one figure
+//	papibench -fastpath=off        # force the reference decode path
+//	papibench -cpuprofile cpu.out  # write a pprof CPU profile
+//	papibench -memprofile mem.out  # write a pprof heap profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/serving"
 )
 
 type figure struct {
@@ -43,19 +49,73 @@ func figures() []figure {
 
 func main() {
 	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios)")
+	fastpath := flag.String("fastpath", "on", "decode-loop fast path: on (memoized cost tables + macro-stepping) or off (reference path); both produce byte-identical output")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
-	ran := false
+	// run's defers terminate the CPU profile before the process exits on
+	// any error path, so a failed run never leaves a truncated profile.
+	if err := run(*which, *fastpath, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "papibench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(which, fastpath, cpuprofile, memprofile string) error {
+	switch fastpath {
+	case "on", "true", "1":
+		serving.SetDefaultFastPath(true)
+	case "off", "false", "0":
+		serving.SetDefaultFastPath(false)
+	default:
+		return fmt.Errorf("-fastpath must be on or off, got %q", fastpath)
+	}
+
+	// Validate the figure selection before profiling starts.
+	if which != "" {
+		known := false
+		for _, f := range figures() {
+			if f.id == which {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown figure %q", which)
+		}
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	for _, f := range figures() {
-		if *which != "" && f.id != *which {
+		if which != "" && f.id != which {
 			continue
 		}
-		ran = true
 		fmt.Printf("================ figure %s ================\n", f.id)
 		fmt.Println(f.run().String())
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "papibench: unknown figure %q\n", *which)
-		os.Exit(1)
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -23,6 +23,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/papi-sim/papi/internal/core"
@@ -149,14 +150,29 @@ type fleetRun struct {
 	// onFinish, when set, fires once per completed request on the replica
 	// that served it, at the replica's completion instant.
 	onFinish func(rep *Replica, req workload.Request)
+	// horizon returns the earliest future instant at which an event outside
+	// a replica's own stepping can interact with it — the bound a replica's
+	// fast-path macro-stepping must not cross (see Stepper.SetHorizon). The
+	// default bounds by the kernel's next pending event, which is always
+	// safe: new events are only scheduled at or after it. Run tightens this
+	// to the next unfired arrival, since open-loop step events never touch
+	// other replicas.
+	horizon func() units.Seconds
 }
 
-// newFleetRun builds the replica engines and the event kernel.
+// newFleetRun builds the replica engines and the event kernel. All replicas
+// are identical, so they share one kernel-pricing cost table: each
+// (placement, parallelism) kernel is priced once for the whole fleet.
 func (c *Cluster) newFleetRun() (*fleetRun, error) {
+	costs := c.opt.Serving.Costs
+	if costs == nil {
+		costs = serving.NewCostTable()
+	}
 	reps := make([]*Replica, c.opt.Replicas)
 	for i := range reps {
 		opt := c.opt.Serving
 		opt.Seed += int64(i)
+		opt.Costs = costs
 		eng, err := serving.New(c.newSys(), c.cfg, opt)
 		if err != nil {
 			return nil, err
@@ -167,7 +183,14 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 		}
 		reps[i] = &Replica{ID: i, engine: eng, stepper: st}
 	}
-	return &fleetRun{c: c, reps: reps, kernel: sim.New()}, nil
+	r := &fleetRun{c: c, reps: reps, kernel: sim.New()}
+	r.horizon = func() units.Seconds {
+		if t, ok := r.kernel.NextAt(); ok {
+			return t
+		}
+		return units.Seconds(math.Inf(1))
+	}
+	return r, nil
 }
 
 // schedule arms a replica's step event at its next work instant: it absorbs
@@ -181,6 +204,7 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 			return
 		}
 		rep.stepper.AdvanceTo(now)
+		rep.stepper.SetHorizon(r.horizon())
 		info, err := rep.stepper.Step()
 		if err != nil {
 			r.err = err
@@ -262,6 +286,20 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 	// events at the same instant.
 	stream := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+
+	// Open-loop runs only interact across replicas at arrivals (the router
+	// reads fleet state, the chosen replica gains a request), and every
+	// arrival instant is known up front — so a replica may macro-step up to
+	// the next unfired arrival, not merely the kernel's next event, which
+	// would throttle fast-forwarding to the other replicas' step cadence.
+	arrivals := make([]units.Seconds, len(stream))
+	fired := 0
+	r.horizon = func() units.Seconds {
+		if fired < len(arrivals) {
+			return arrivals[fired]
+		}
+		return units.Seconds(math.Inf(1))
+	}
 	for i := range stream {
 		req := stream[i]
 		// A negative arrival means "already waiting at start", as in the
@@ -270,7 +308,9 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 		if at < 0 {
 			at = 0
 		}
+		arrivals[i] = at
 		r.kernel.At(at, func(now units.Seconds) {
+			fired++
 			if r.err != nil {
 				return
 			}

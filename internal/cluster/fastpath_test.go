@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// Fleet-level fast-path equivalence: macro-stepping under the event-kernel
+// horizon, the shared cost table, and the O(1) router signals must leave the
+// whole FleetResult — every replica's Result, the realised stream, the
+// latency digests — deep-equal to the reference decode path.
+
+func runFleet(t *testing.T, mode serving.FastPathMode, drive func(*Cluster) (*FleetResult, error)) *FleetResult {
+	t.Helper()
+	opt := serving.DefaultOptions(1)
+	opt.FastPath = mode
+	cl, err := NewByName("PAPI", model.OPT30B(), Options{
+		Replicas: 3,
+		MaxBatch: 6,
+		Router:   LeastOutstanding(),
+		Serving:  opt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := drive(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFastPathEquivalenceFleetOpenLoop(t *testing.T) {
+	reqs := workload.GeneralQA().Poisson(40, 60, 23)
+	fast := runFleet(t, serving.FastPathOn, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+	ref := runFleet(t, serving.FastPathOff, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+	if !reflect.DeepEqual(fast, ref) {
+		t.Fatalf("open-loop fleet diverged:\n fast: %+v\n  ref: %+v", fast, ref)
+	}
+}
+
+func TestFastPathEquivalenceFleetClosedLoop(t *testing.T) {
+	sc, err := workload.ScenarioByName("chat-multiturn")
+	if err != nil {
+		t.Skipf("no multi-turn scenario registered: %v", err)
+	}
+	plan, err := sc.Plan(12, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := runFleet(t, serving.FastPathOn, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
+	ref := runFleet(t, serving.FastPathOff, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
+	if !reflect.DeepEqual(fast, ref) {
+		t.Fatalf("closed-loop fleet diverged:\n fast: %+v\n  ref: %+v", fast, ref)
+	}
+}

@@ -25,33 +25,117 @@ const (
 	Other        Component = "other"
 )
 
+// stdComponents lists the standard components in their deterministic
+// (lexicographic) order; stdIndex maps a component to its slot.
+var stdComponents = [...]Component{AttnPIM, FCPIM, GPUActive, GPUIdle, HostCPU, Interconnect, Other}
+
+// Slot is a precomputed ledger index for a standard component. The serving
+// engine charges several components per simulated decoding iteration; going
+// through a Slot makes each charge an inlinable two-store operation instead
+// of a string-switch dispatch. Values mirror stdComponents order.
+type Slot int8
+
+// Slots of the standard components.
+const (
+	SlotAttnPIM Slot = iota
+	SlotFCPIM
+	SlotGPUActive
+	SlotGPUIdle
+	SlotHostCPU
+	SlotInterconnect
+	SlotOther
+)
+
+// stdIndex returns the array slot of a standard component, or -1.
+func stdIndex(c Component) int {
+	switch c {
+	case AttnPIM:
+		return 0
+	case FCPIM:
+		return 1
+	case GPUActive:
+		return 2
+	case GPUIdle:
+		return 3
+	case HostCPU:
+		return 4
+	case Interconnect:
+		return 5
+	case Other:
+		return 6
+	}
+	return -1
+}
+
 // Ledger accumulates energy per component. The zero value is ready to use.
+//
+// The standard components live in a fixed array so the serving engine's
+// per-iteration charges (several per decoding step) are plain indexed adds
+// rather than string-keyed map operations; non-standard components spill
+// into a map. Per-component accumulation order is unchanged either way, so
+// totals are bit-identical to the map-only representation.
 type Ledger struct {
-	entries map[Component]units.Joules
+	std     [len(stdComponents)]units.Joules
+	charged [len(stdComponents)]bool
+	extra   map[Component]units.Joules
 }
 
 // Add charges j joules to component c. Negative charges are a programming
-// error and panic (energy only accumulates).
+// error and panic (energy only accumulates). The body is kept small enough
+// to inline: with a constant component — every call in the serving engine —
+// the compiler folds stdIndex away and the charge compiles to two stores.
 func (l *Ledger) Add(c Component, j units.Joules) {
+	if i := stdIndex(c); i >= 0 && j >= 0 {
+		l.std[i] += j
+		l.charged[i] = true
+		return
+	}
+	l.addSlow(c, j)
+}
+
+// AddSlot charges j joules to a standard component by its precomputed slot
+// — the hot-path equivalent of Add, small enough to inline to two stores.
+// As with Add, negative charges panic (without the formatted detail, to stay
+// inside the inlining budget); an out-of-range slot panics via the index.
+func (l *Ledger) AddSlot(s Slot, j units.Joules) {
+	if j < 0 {
+		panic("energy: negative charge")
+	}
+	l.std[s] += j
+	l.charged[s] = true
+}
+
+// addSlow handles the non-standard-component and negative-charge cases.
+func (l *Ledger) addSlow(c Component, j units.Joules) {
 	if j < 0 {
 		panic(fmt.Sprintf("energy: negative charge %v to %s", j, c))
 	}
-	if l.entries == nil {
-		l.entries = make(map[Component]units.Joules)
+	if i := stdIndex(c); i >= 0 {
+		l.std[i] += j
+		l.charged[i] = true
+		return
 	}
-	l.entries[c] += j
+	if l.extra == nil {
+		l.extra = make(map[Component]units.Joules)
+	}
+	l.extra[c] += j
 }
 
 // Get returns a component's accumulated energy.
-func (l *Ledger) Get(c Component) units.Joules { return l.entries[c] }
+func (l *Ledger) Get(c Component) units.Joules {
+	if i := stdIndex(c); i >= 0 {
+		return l.std[i]
+	}
+	return l.extra[c]
+}
 
 // Total sums every component. Summation follows the deterministic
-// Components order: float addition is order-sensitive, and map iteration
-// order would otherwise make totals differ by an ulp run-to-run.
+// Components order: float addition is order-sensitive, and an unordered
+// traversal would otherwise make totals differ by an ulp run-to-run.
 func (l *Ledger) Total() units.Joules {
 	var t units.Joules
 	for _, c := range l.Components() {
-		t += l.entries[c]
+		t += l.Get(c)
 	}
 	return t
 }
@@ -62,13 +146,18 @@ func (l *Ledger) Share(c Component) float64 {
 	if t <= 0 {
 		return 0
 	}
-	return float64(l.entries[c]) / float64(t)
+	return float64(l.Get(c)) / float64(t)
 }
 
 // Components returns the charged components in deterministic order.
 func (l *Ledger) Components() []Component {
-	cs := make([]Component, 0, len(l.entries))
-	for c := range l.entries {
+	cs := make([]Component, 0, len(stdComponents)+len(l.extra))
+	for i, c := range stdComponents {
+		if l.charged[i] {
+			cs = append(cs, c)
+		}
+	}
+	for c := range l.extra {
 		cs = append(cs, c)
 	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
@@ -77,8 +166,8 @@ func (l *Ledger) Components() []Component {
 
 // Merge adds every entry of other into l.
 func (l *Ledger) Merge(other *Ledger) {
-	for c, j := range other.entries {
-		l.Add(c, j)
+	for _, c := range other.Components() {
+		l.Add(c, other.Get(c))
 	}
 }
 
@@ -86,7 +175,7 @@ func (l *Ledger) Merge(other *Ledger) {
 func (l *Ledger) String() string {
 	var b strings.Builder
 	for _, c := range l.Components() {
-		fmt.Fprintf(&b, "%s: %v (%.1f%%)\n", c, l.entries[c], 100*l.Share(c))
+		fmt.Fprintf(&b, "%s: %v (%.1f%%)\n", c, l.Get(c), 100*l.Share(c))
 	}
 	fmt.Fprintf(&b, "total: %v", l.Total())
 	return b.String()

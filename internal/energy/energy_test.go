@@ -123,3 +123,54 @@ func TestConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddSlotMatchesAdd(t *testing.T) {
+	pairs := []struct {
+		c Component
+		s Slot
+	}{
+		{AttnPIM, SlotAttnPIM}, {FCPIM, SlotFCPIM}, {GPUActive, SlotGPUActive},
+		{GPUIdle, SlotGPUIdle}, {HostCPU, SlotHostCPU}, {Interconnect, SlotInterconnect},
+		{Other, SlotOther},
+	}
+	var byName, bySlot Ledger
+	for i, p := range pairs {
+		j := units.Joules(float64(i) + 0.25)
+		byName.Add(p.c, j)
+		bySlot.AddSlot(p.s, j)
+	}
+	for _, p := range pairs {
+		if byName.Get(p.c) != bySlot.Get(p.c) {
+			t.Fatalf("%s: Add %v != AddSlot %v", p.c, byName.Get(p.c), bySlot.Get(p.c))
+		}
+	}
+	if byName.Total() != bySlot.Total() {
+		t.Fatalf("totals differ: %v vs %v", byName.Total(), bySlot.Total())
+	}
+}
+
+func TestAddSlotNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AddSlot did not panic")
+		}
+	}()
+	var l Ledger
+	l.AddSlot(SlotOther, -1)
+}
+
+func TestNonStandardComponentSpills(t *testing.T) {
+	var l Ledger
+	l.Add(Component("dram-refresh"), 2)
+	l.Add(GPUActive, 3)
+	if l.Get(Component("dram-refresh")) != 2 {
+		t.Fatal("non-standard component lost")
+	}
+	cs := l.Components()
+	if len(cs) != 2 || cs[0] != Component("dram-refresh") || cs[1] != GPUActive {
+		t.Fatalf("Components() = %v, want sorted [dram-refresh gpu-active]", cs)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %v, want 5", l.Total())
+	}
+}

@@ -1,0 +1,33 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAttentionKernelSumMatchesAttentionKernel pins the incremental
+// closed form bit-identical to the per-request summation: every term is an
+// integer-valued float far below 2⁵³, so the sum over KV lengths must equal
+// the closed form over their total exactly, for every evaluation model.
+func TestAttentionKernelSumMatchesAttentionKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range append(All(), OPT125M(), LLaMA7B()) {
+		for _, tlp := range []int{1, 2, 4, 8} {
+			for trial := 0; trial < 50; trial++ {
+				rlp := 1 + rng.Intn(64)
+				kvLens := make([]int, rlp)
+				sum := 0
+				for i := range kvLens {
+					kvLens[i] = 1 + rng.Intn(cfg.MaxSeqLen)
+					sum += kvLens[i]
+				}
+				want := cfg.AttentionKernel(tlp, kvLens)
+				got := cfg.AttentionKernelSum(tlp, sum, rlp)
+				if got != want {
+					t.Fatalf("%s tlp=%d rlp=%d ΣkvLen=%d: sum form %+v != per-request form %+v",
+						cfg.Name, tlp, rlp, sum, got, want)
+				}
+			}
+		}
+	}
+}

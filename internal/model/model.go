@@ -256,6 +256,23 @@ func (c Config) AttentionKernel(tlp int, kvLens []int) Kernel {
 	}
 }
 
+// AttentionKernelSum is the incremental form of AttentionKernel: the kernel
+// depends on the batch's KV lengths only through their sum, so a caller that
+// maintains ΣkvLen incrementally (the serving fast path) can derive the
+// kernel in O(1) instead of walking the batch. All per-request terms are
+// integer-valued and far below 2⁵³, so the closed form is bit-identical to
+// the per-request summation; a test pins this against AttentionKernel.
+func (c Config) AttentionKernelSum(tlp, sumKV, rlp int) Kernel {
+	h := float64(c.Hidden)
+	l := float64(sumKV)
+	return Kernel{
+		Kind:            KindAttention,
+		Flops:           units.FLOPs(4 * float64(tlp) * l * h),
+		KVBytes:         units.Bytes(4 * l * h),
+		ActivationBytes: units.Bytes(float64(rlp) * (float64(tlp) * 4 * h * BytesPerElement)),
+	}
+}
+
 // LayerKernels returns the four kernels of one decoder layer for a decoding
 // iteration with rlp requests (KV lengths given) and tlp speculative tokens.
 func (c Config) LayerKernels(tlp int, kvLens []int) []Kernel {

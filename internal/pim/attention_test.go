@@ -1,0 +1,54 @@
+package pim
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// TestExecuteAttentionMatchesExecute pins the serving fast path's lean
+// attention pricing bit-identical to the full Execute on attention-class
+// kernels, across stack designs, governor settings, kernel shapes (compute-
+// vs DRAM-bound, throttled or not) and device subsets.
+func TestExecuteAttentionMatchesExecute(t *testing.T) {
+	stacks := map[string]hbm.Stack{
+		"attacc": hbm.AttAccStack(),
+		"hbmpim": hbm.HBMPIMStack(),
+		"fcpim":  hbm.FCPIMStack(),
+	}
+	for name, stack := range stacks {
+		for _, governor := range []bool{true, false} {
+			d := New(stack, 60)
+			d.Governor = governor
+			// Attention reuse ≈ TLP: sweep reuse levels to hit both the
+			// bandwidth-bound and throttled regimes.
+			for _, unique := range []float64{1 << 20, 1 << 26, 1 << 30, 1 << 34} {
+				for _, reuse := range []float64{1, 4, 64, 512} {
+					for _, active := range []int{0, 1, 17, 60, 100} {
+						k := Kernel{
+							Name:        "attention",
+							Class:       ClassAttention,
+							Flops:       units.FLOPs(unique * reuse),
+							UniqueBytes: units.Bytes(unique),
+						}
+						want := d.Execute(k, active)
+						gotT, gotE, gotThr := d.ExecuteAttention(k.Flops, k.UniqueBytes, active)
+						if gotT != want.Time {
+							t.Fatalf("%s governor=%v unique=%g reuse=%g active=%d: time %v != %v",
+								name, governor, unique, reuse, active, gotT, want.Time)
+						}
+						if gotE != want.Energy.Total() {
+							t.Fatalf("%s governor=%v unique=%g reuse=%g active=%d: energy %v != %v",
+								name, governor, unique, reuse, active, gotE, want.Energy.Total())
+						}
+						if gotThr != want.Throttled {
+							t.Fatalf("%s governor=%v unique=%g reuse=%g active=%d: throttled %v != %v",
+								name, governor, unique, reuse, active, gotThr, want.Throttled)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -282,6 +282,49 @@ func (d *Device) Execute(k Kernel, active int) Result {
 	return res
 }
 
+// ExecuteAttention prices an attention-class kernel with the exact
+// arithmetic of Execute, specialised to the observables the serving fast
+// path consumes per decoding iteration: time, total energy and the throttle
+// flag. Attention kernels take neither the FC compute derate nor the
+// weight-re-streaming penalty, so both branches constant-fold away; skipping
+// the full Breakdown construction matters on a path called once per
+// simulated iteration. A test pins bit-identical agreement with Execute.
+func (d *Device) ExecuteAttention(flops units.FLOPs, unique units.Bytes, active int) (units.Seconds, units.Joules, bool) {
+	if active <= 0 || active > d.Count {
+		active = d.Count
+	}
+	n := float64(active)
+	computeRate := n * float64(d.Stack.ComputeRate())
+	supplyBW := n * float64(d.Stack.StreamBW())
+	u := float64(unique)
+
+	computeTime := float64(flops) / computeRate
+	dramTime := u / supplyBW
+	t := math.Max(computeTime, dramTime)
+
+	dramPJ := u * d.Energy.DRAMAccessPJB
+	flowPJ := float64(flops) * (d.Energy.TransferPJB + d.Energy.ComputePJB)
+	power := (dramPJ + flowPJ) * 1e-12 / t
+
+	throttled := false
+	if d.Governor {
+		budget := d.BudgetW * n
+		if power > budget {
+			t *= power / budget
+			throttled = true
+		}
+	}
+
+	t += float64(d.KernelOverhead)
+	// Summed in Breakdown.Total's order: DRAM access, transfer, compute,
+	// static.
+	total := units.Joules(dramPJ*1e-12) +
+		units.Joules(float64(flops)*d.Energy.TransferPJB*1e-12) +
+		units.Joules(float64(flops)*d.Energy.ComputePJB*1e-12) +
+		units.Joules(float64(d.Energy.StaticW)*n*t)
+	return units.Seconds(t), total, throttled
+}
+
 // DemandPower returns the pool-per-stack dynamic power if the FPUs ran at
 // full rate with data-reuse level r — the quantity plotted in Fig. 7(c).
 // It deliberately ignores the DRAM supply cap and the governor: the figure

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/gpu"
+	"github.com/papi-sim/papi/internal/hbm"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/pim"
+)
+
+// TestCalibrateBinarySearchMatchesLinearScan pins the binary-searched α
+// against the reference linear scan on every evaluation model: the
+// GPU-vs-PIM crossover must be the same threshold either way.
+func TestCalibrateBinarySearchMatchesLinearScan(t *testing.T) {
+	node := gpu.DefaultNode()
+	fcpim := pim.New(hbm.FCPIMStack(), 30)
+	for _, cfg := range model.All() {
+		got := Calibrate(cfg, node, fcpim)
+		want := calibrateLinear(cfg, node, fcpim)
+		if got != want {
+			t.Errorf("%s: binary-search α = %v, linear-scan α = %v", cfg.Name, got, want)
+		}
+	}
+}
+
+// TestCalibrateCrossoverMonotone verifies the assumption the binary search
+// rests on: once the GPU wins at some parallelism it keeps winning at every
+// higher level (checked on a coarse grid around the threshold).
+func TestCalibrateCrossoverMonotone(t *testing.T) {
+	node := gpu.DefaultNode()
+	fcpim := pim.New(hbm.FCPIMStack(), 30)
+	for _, cfg := range model.All() {
+		alpha := int(Calibrate(cfg, node, fcpim))
+		for _, p := range []int{alpha, alpha + 1, alpha + 7, 2 * alpha, 4096} {
+			if p > 4096 {
+				continue
+			}
+			if !gpuWinsAt(cfg, node, fcpim, p) {
+				t.Errorf("%s: GPU wins at α = %d but loses at %d — crossover not monotone", cfg.Name, alpha, p)
+			}
+		}
+		if alpha > 1 && gpuWinsAt(cfg, node, fcpim, alpha-1) {
+			t.Errorf("%s: GPU already wins below α = %d", cfg.Name, alpha)
+		}
+	}
+}
+
+// TestSchedulerRepeat pins Repeat against the equivalent run of Decide
+// calls: same iteration counter, same trace, same reschedule count.
+func TestSchedulerRepeat(t *testing.T) {
+	mk := func() *Scheduler {
+		s, err := NewScheduler(Dynamic{Alpha: 28}, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	a := mk()
+	for i := 0; i < 5; i++ {
+		a.Decide()
+	}
+
+	b := mk()
+	b.Decide()
+	b.Repeat(4)
+
+	if a.iteration != b.iteration {
+		t.Fatalf("iteration counter: Decide×5 = %d, Decide+Repeat(4) = %d", a.iteration, b.iteration)
+	}
+	if a.Reschedules() != b.Reschedules() {
+		t.Fatalf("reschedules: %d vs %d", a.Reschedules(), b.Reschedules())
+	}
+	ta, tb := a.Trace(), b.Trace()
+	if len(ta) != len(tb) {
+		t.Fatalf("trace length %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("trace[%d]: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+
+	// With the trace disabled, Repeat still advances the counter.
+	c := mk()
+	c.SetTraceCap(0)
+	c.Decide()
+	c.Repeat(9)
+	if c.iteration != 10 {
+		t.Fatalf("iteration counter with trace off: %d, want 10", c.iteration)
+	}
+	if len(c.Trace()) != 0 {
+		t.Fatalf("trace recorded despite cap 0")
+	}
+}

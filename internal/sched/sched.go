@@ -133,6 +133,45 @@ func (s *Scheduler) Reschedules() int { return s.reschedules }
 // Trace returns the recorded scheduling events (capped).
 func (s *Scheduler) Trace() []Event { return s.trace }
 
+// SetTraceCap bounds the recorded scheduling trace; 0 disables recording.
+// The serving engine disables it — the trace duplicates what Result already
+// carries (RLPTrace, IterStats) and would otherwise grow per iteration on
+// the decode hot path.
+func (s *Scheduler) SetTraceCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.traceCap = n
+}
+
+// Repeat advances the scheduler over k further iterations whose scheduling
+// inputs are unchanged — the serving fast path's macro-stepping, where RLP
+// and TLP are frozen between scheduling events, so every interior iteration
+// would Decide the same placement with no reschedule. It must follow a
+// Decide call; the iteration counter, trace (when enabled) and reschedule
+// count end up exactly as k Decide calls would leave them.
+func (s *Scheduler) Repeat(k int) {
+	if k <= 0 {
+		return
+	}
+	if len(s.trace) >= s.traceCap {
+		s.iteration += k
+		return
+	}
+	for ; k > 0; k-- {
+		if len(s.trace) < s.traceCap {
+			s.trace = append(s.trace, Event{
+				Iteration:   s.iteration,
+				RLP:         s.rlp,
+				TLP:         s.tlp,
+				EstimatedAI: model.EstimatedAI(s.rlp, s.tlp),
+				Placement:   s.last,
+			})
+		}
+		s.iteration++
+	}
+}
+
 // SetTLP models the host CPU writing the dedicated TLP register (§5.2.2).
 func (s *Scheduler) SetTLP(tlp int) error {
 	if tlp <= 0 {
@@ -191,24 +230,63 @@ func (s *Scheduler) Decide() Event {
 
 // Offline α calibration --------------------------------------------------------
 
+// calibrationMax is the highest parallelism level the offline calibration
+// considers.
+const calibrationMax = 4096
+
+// gpuWinsAt reports whether the PUs beat the FC-PIM units on the FC kernel
+// of one decoding iteration at parallelism p.
+func gpuWinsAt(cfg model.Config, node *gpu.Node, fcpim *pim.Device, p int) bool {
+	k := cfg.FCIterationKernel(p)
+	gpuT := node.Execute(k.Flops, k.WeightBytes+k.ActivationBytes).Time
+	pimT := fcpim.Execute(pim.Kernel{
+		Name:        "fc",
+		Flops:       k.Flops,
+		UniqueBytes: k.WeightBytes,
+	}, 0).Time
+	return gpuT < pimT
+}
+
 // Calibrate determines the memory-boundedness threshold α by offline
-// iterative evaluation (§5.2.1): run the FC kernel of one decoding iteration
-// on both the PUs and the FC-PIM units across parallelism levels and return
-// the smallest RLP×TLP at which the PUs win.
+// evaluation (§5.2.1): run the FC kernel of one decoding iteration on both
+// the PUs and the FC-PIM units and return the smallest RLP×TLP at which the
+// PUs win. The GPU-vs-PIM crossover is monotone in the parallelism — FC
+// arithmetic intensity grows linearly with tokens in flight while the PIM
+// side stays weight-streaming-bound — so the threshold is found by binary
+// search (12 kernel evaluations instead of a linear scan of up to 4096; a
+// test pins agreement with the scan on every evaluation model). A custom
+// device whose GPU-vs-PIM sign changes more than once would bisect to *a*
+// crossover rather than the first — use CalibrationSweep to inspect such
+// hardware directly.
 func Calibrate(cfg model.Config, node *gpu.Node, fcpim *pim.Device) float64 {
-	for p := 1; p <= 4096; p++ {
-		k := cfg.FCIterationKernel(p)
-		gpuT := node.Execute(k.Flops, k.WeightBytes+k.ActivationBytes).Time
-		pimT := fcpim.Execute(pim.Kernel{
-			Name:        "fc",
-			Flops:       k.Flops,
-			UniqueBytes: k.WeightBytes,
-		}, 0).Time
-		if gpuT < pimT {
+	if gpuWinsAt(cfg, node, fcpim, 1) {
+		return 1
+	}
+	if !gpuWinsAt(cfg, node, fcpim, calibrationMax) {
+		return calibrationMax
+	}
+	// Invariant: the GPU loses at lo and wins at hi.
+	lo, hi := 1, calibrationMax
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if gpuWinsAt(cfg, node, fcpim, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return float64(hi)
+}
+
+// calibrateLinear is the reference linear scan Calibrate replaced; the
+// calibration test pins the binary search against it.
+func calibrateLinear(cfg model.Config, node *gpu.Node, fcpim *pim.Device) float64 {
+	for p := 1; p <= calibrationMax; p++ {
+		if gpuWinsAt(cfg, node, fcpim, p) {
 			return float64(p)
 		}
 	}
-	return 4096
+	return calibrationMax
 }
 
 // CalibrationTable reports the per-parallelism execution times used to pick

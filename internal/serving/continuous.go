@@ -3,7 +3,6 @@ package serving
 import (
 	"fmt"
 
-	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
 
@@ -25,15 +24,7 @@ func (e *Engine) RunContinuous(reqs []workload.Request, maxBatch int) (Result, e
 	return st.run()
 }
 
-// kvFits reports whether cand's worst-case KV cache fits alongside the
-// currently-admitted requests.
-func (e *Engine) kvFits(active []*request, cand *request) bool {
-	var need units.Bytes
-	for _, r := range active {
-		if !r.done {
-			need += e.Cfg.KVBytes(r.SeqLen())
-		}
-	}
-	need += e.Cfg.KVBytes(cand.SeqLen())
-	return need <= e.Sys.KVCapacity()
-}
+// Admission's KV-capacity check — whether a candidate's worst-case KV cache
+// fits alongside the admitted requests — lives in Stepper.admit, against the
+// incrementally-maintained active-demand total (O(1) instead of a walk over
+// the batch per candidate).

@@ -1,0 +1,209 @@
+package serving
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// The fast path's contract is bit-for-bit equivalence: memoized cost tables,
+// incremental KV accounting and macro-stepping must reproduce the reference
+// decode loop's full Result — times, energy ledger, traces, per-request
+// metrics — exactly, for every evaluated system, both batching modes, and
+// both the deterministic (TLP = 1) and speculative (TLP = 4) regimes.
+
+// fastpathSystems returns every evaluated design (Fig. 8's four plus the
+// §7.4 PIM-only PAPI variant).
+func fastpathSystems() map[string]func() *core.System {
+	return map[string]func() *core.System{
+		"PAPI":          func() *core.System { return core.NewPAPI(0) },
+		"A100+AttAcc":   core.NewA100AttAcc,
+		"A100+HBM-PIM":  core.NewA100HBMPIM,
+		"AttAcc-only":   core.NewAttAccOnly,
+		"PIM-only PAPI": core.NewPIMOnlyPAPI,
+	}
+}
+
+func runBoth(t *testing.T, newSys func() *core.System, tlp int,
+	drive func(e *Engine) (Result, error)) (fast, ref Result) {
+	t.Helper()
+	for _, mode := range []FastPathMode{FastPathOn, FastPathOff} {
+		opt := DefaultOptions(tlp)
+		opt.FastPath = mode
+		eng, err := New(newSys(), model.OPT30B(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := drive(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == FastPathOn {
+			fast = res
+		} else {
+			ref = res
+		}
+	}
+	return fast, ref
+}
+
+func TestFastPathEquivalenceStatic(t *testing.T) {
+	reqs := workload.GeneralQA().Generate(12, 7)
+	for name, newSys := range fastpathSystems() {
+		for _, tlp := range []int{1, 4} {
+			fast, ref := runBoth(t, newSys, tlp, func(e *Engine) (Result, error) {
+				return e.RunBatch(reqs)
+			})
+			if !reflect.DeepEqual(fast, ref) {
+				t.Errorf("%s static TLP=%d: fast path diverged from reference\n fast: %+v\n  ref: %+v",
+					name, tlp, fast, ref)
+			}
+		}
+	}
+}
+
+func TestFastPathEquivalenceStream(t *testing.T) {
+	reqs := workload.GeneralQA().Poisson(16, 25, 11)
+	for name, newSys := range fastpathSystems() {
+		for _, tlp := range []int{1, 4} {
+			fast, ref := runBoth(t, newSys, tlp, func(e *Engine) (Result, error) {
+				return e.RunContinuous(reqs, 6)
+			})
+			if !reflect.DeepEqual(fast, ref) {
+				t.Errorf("%s stream TLP=%d: fast path diverged from reference\n fast: %+v\n  ref: %+v",
+					name, tlp, fast, ref)
+			}
+		}
+	}
+}
+
+// TestFastPathEquivalenceSharedTable runs the fast path twice against one
+// shared CostTable (warming it on the first run) and pins that a warm table
+// changes nothing — the memoized prices equal the freshly computed ones.
+func TestFastPathEquivalenceSharedTable(t *testing.T) {
+	reqs := workload.CreativeWriting().Poisson(12, 40, 3)
+	table := NewCostTable()
+	var runs [2]Result
+	for i := range runs {
+		opt := DefaultOptions(1)
+		opt.FastPath = FastPathOn
+		opt.Costs = table
+		eng, err := New(core.NewPAPI(0), model.OPT30B(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i], err = eng.RunContinuous(reqs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatal("warm cost table changed the result")
+	}
+}
+
+// TestCostTableRejectsRebinding pins the guard against silently serving one
+// system's prices to another.
+func TestCostTableRejectsRebinding(t *testing.T) {
+	table := NewCostTable()
+	opt := DefaultOptions(1)
+	opt.Costs = table
+	if _, err := New(core.NewPAPI(0), model.OPT30B(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(core.NewA100AttAcc(), model.OPT30B(), opt); err == nil {
+		t.Fatal("cost table accepted a second system design")
+	}
+	if _, err := New(core.NewPAPI(0), model.LLaMA65B(), opt); err == nil {
+		t.Fatal("cost table accepted a second model")
+	}
+}
+
+// TestStepAllocations is the allocation regression test on Stepper.Step: a
+// macro-stepped static drain must average well under one allocation per
+// committed token, and at least 10× fewer than the reference path on the
+// same workload.
+func TestStepAllocations(t *testing.T) {
+	reqs := workload.CreativeWriting().Generate(16, 1)
+	measure := func(mode FastPathMode) float64 {
+		opt := DefaultOptions(1)
+		opt.FastPath = mode
+		eng, err := New(core.NewPAPI(0), model.OPT30B(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			st, err := eng.NewBatchStepper(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				info, err := st.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Kind == StepDrained {
+					break
+				}
+			}
+			st.Finalize()
+		})
+	}
+	fast := measure(FastPathOn)
+	ref := measure(FastPathOff)
+	// The whole drained run — thousands of iterations — must stay within a
+	// fixed allocation budget: traces, tracker entries and stepper setup,
+	// nothing per-iteration.
+	const budget = 120
+	if fast > budget {
+		t.Errorf("fast-path drain allocated %.0f times, want ≤ %d", fast, budget)
+	}
+	if ref < 10*fast {
+		t.Errorf("allocation regression: reference %.0f, fast %.0f — want ≥ 10× reduction", ref, fast)
+	}
+}
+
+// TestKVDemandIncremental pins the O(1) KVDemand against a fresh walk over
+// the outstanding requests as the batch admits, decodes and drains.
+func TestKVDemandIncremental(t *testing.T) {
+	opt := DefaultOptions(1)
+	eng, err := New(core.NewPAPI(0), model.OPT30B(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.NewStreamStepper(workload.GeneralQA().Poisson(10, 50, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(workload.Request{ID: 99, InputLen: 64, OutputLen: 32, Arrival: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	walk := func() float64 {
+		var need float64
+		for _, r := range st.active {
+			need += float64(eng.Cfg.KVBytes(r.SeqLen()))
+		}
+		for _, r := range st.pending {
+			need += float64(eng.Cfg.KVBytes(r.SeqLen()))
+		}
+		return need
+	}
+	for i := 0; ; i++ {
+		if got, want := float64(st.KVDemand()), walk(); got != want {
+			t.Fatalf("step %d: KVDemand = %v, walk = %v", i, got, want)
+		}
+		info, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Kind == StepDrained {
+			break
+		}
+	}
+	if st.KVDemand() != 0 {
+		t.Fatalf("drained stepper reports KV demand %v", st.KVDemand())
+	}
+}

@@ -58,19 +58,49 @@ func newMetricsTracker() *metricsTracker {
 	return &metricsTracker{byID: make(map[int]*RequestMetrics)}
 }
 
+// entry resolves (and caches on the request) the request's metrics record,
+// creating it with the given TTFT on first sight of the ID. Requests sharing
+// an ID share one record, as they always have.
+func (m *metricsTracker) entry(r *request, ttft units.Seconds) *RequestMetrics {
+	rm, ok := m.byID[r.ID]
+	if !ok {
+		rm = &RequestMetrics{ID: r.ID, TTFT: ttft}
+		m.byID[r.ID] = rm
+	}
+	r.rm = rm
+	return rm
+}
+
 // observe records one iteration's outcome for a request: committed tokens at
 // the iteration ending at clock, measured against the request's start epoch.
 func (m *metricsTracker) observe(r *request, committed int, clock, epoch units.Seconds) {
 	if committed <= 0 {
 		return
 	}
-	rm, ok := m.byID[r.ID]
-	if !ok {
-		rm = &RequestMetrics{ID: r.ID, TTFT: clock - epoch}
-		m.byID[r.ID] = rm
+	rm := r.rm
+	if rm == nil {
+		rm = m.entry(r, clock-epoch)
 	}
 	rm.OutputTokens += committed
 	rm.Completion = clock - epoch
+}
+
+// observeRun records a macro-stepped window for a request: run committed
+// tokens, one per iteration, the first landing at firstClock and the last at
+// lastClock. It is equivalent to run successive observe calls — the interior
+// Completion writes are overwritten, so only the first iteration (which
+// fixes TTFT for a fresh request) and the last (which fixes Completion)
+// are observable.
+func (m *metricsTracker) observeRun(r *request, run int, firstClock, lastClock, epoch units.Seconds) {
+	if run <= 0 {
+		return
+	}
+	rm := r.rm
+	if rm == nil {
+		rm = m.entry(r, firstClock-epoch)
+	}
+	rm.OutputTokens += run
+	rm.Completion = lastClock - epoch
 }
 
 // finalize computes TPOTs and returns the metrics in request-ID order

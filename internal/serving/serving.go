@@ -48,6 +48,14 @@ type Options struct {
 	OtherPerIteration units.Seconds
 	// Seed drives the acceptance sampling.
 	Seed int64
+	// FastPath selects the memoized fast path or the reference decode loop;
+	// the zero value follows the package default (on). Both produce
+	// bit-identical Results.
+	FastPath FastPathMode
+	// Costs optionally shares a kernel-pricing table with other engines of
+	// the same (system design, model, draft) combination — cluster replicas,
+	// sweep cells. Nil gives the engine a private table.
+	Costs *CostTable
 }
 
 // DefaultOptions returns the configuration used by the figure reproductions.
@@ -145,6 +153,34 @@ type Engine struct {
 
 	draft model.Config
 	rng   *rand.Rand
+
+	// fastPath selects the memoized decode loop (see costs.go).
+	fastPath bool
+	// costs is the (possibly shared) kernel-pricing table; puCache/pimCache/
+	// draftCache are this engine's lock-free first-level caches over it.
+	costs      *CostTable
+	puCache    []fcCost
+	pimCache   []fcCost
+	draftCache draftPrice
+
+	// otherBase is the fixed per-iteration overhead: sampling/gather plus
+	// the policy's decision latency (hoisted so the decode loop skips a type
+	// assertion per iteration; both are constants of the engine).
+	otherBase units.Seconds
+
+	// Constants of the fused fast-path iteration (runIterationFast), hoisted
+	// at construction. Every one is a product of integer-valued floats far
+	// below 2⁵³, so folding them does not change any result bit: layersF is
+	// the layer count, attnOvh the per-iteration attention kernel overheads,
+	// attnFlopsCoef/attnActTerm the per-ΣkvLen / per-request attention-kernel
+	// coefficients, and *W the idle/standby power products.
+	layersF       float64
+	attnOvh       float64
+	attnFlopsCoef float64
+	attnActTerm   float64
+	gpuIdleW      float64
+	fcStandbyW    float64
+	attnStandbyW  float64
 }
 
 // traceCap bounds the per-iteration traces kept in a Result.
@@ -164,7 +200,7 @@ func New(sys *core.System, cfg model.Config, opt Options) (*Engine, error) {
 	if err := sys.FitsModel(cfg); err != nil {
 		return nil, err
 	}
-	e := &Engine{Sys: sys, Cfg: cfg, Opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	e := &Engine{Sys: sys, Cfg: cfg, Opt: opt}
 	if opt.Draft != nil {
 		e.draft = *opt.Draft
 	} else {
@@ -172,6 +208,32 @@ func New(sys *core.System, cfg model.Config, opt Options) (*Engine, error) {
 	}
 	if err := e.draft.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: draft model: %w", err)
+	}
+	// Search-based placement policies pay their decision latency on the
+	// critical path (§8's SpecPIM argument); PAPI's predictor is free.
+	e.otherBase = opt.OtherPerIteration
+	if cp, ok := sys.Policy.(sched.CostedPolicy); ok {
+		e.otherBase += cp.DecisionCost()
+	}
+	e.layersF = float64(cfg.Layers)
+	e.attnOvh = float64(sys.AttnPIM.KernelOverhead) * (e.layersF - 1)
+	h := float64(cfg.Hidden)
+	e.attnFlopsCoef = 4 * float64(opt.TLP)
+	e.attnActTerm = float64(opt.TLP) * 4 * h * model.BytesPerElement
+	if sys.GPU != nil {
+		e.gpuIdleW = float64(sys.GPU.Spec.IdlePower) * float64(sys.GPU.Count)
+	}
+	if sys.FCPIM != nil {
+		e.fcStandbyW = float64(sys.FCPIM.Energy.StaticW) * float64(sys.FCPIM.Count)
+	}
+	e.attnStandbyW = float64(sys.AttnPIM.Energy.StaticW) * float64(sys.AttnPIM.Count)
+	e.fastPath = opt.FastPath.enabled()
+	e.costs = opt.Costs
+	if e.costs == nil {
+		e.costs = NewCostTable()
+	}
+	if err := e.costs.bind(costFingerprint(sys, cfg, e.draft)); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -182,6 +244,9 @@ type request struct {
 	generated  int
 	iterations int
 	done       bool
+	// rm caches this request's metrics entry so the per-iteration observe
+	// path skips the tracker's by-ID map (see metricsTracker.entry).
+	rm *RequestMetrics
 }
 
 // RunBatch executes one statically-batched inference: prefill for the whole
@@ -196,13 +261,18 @@ func (e *Engine) RunBatch(reqs []workload.Request) (Result, error) {
 	return st.run()
 }
 
-// live filters unfinished requests.
+// live filters unfinished requests in place (the stepper owns the backing
+// array) so the per-step path stays allocation-free; the vacated tail is
+// cleared so finished requests do not stay reachable.
 func live(all []*request) []*request {
-	out := all[:0:0]
+	out := all[:0]
 	for _, r := range all {
 		if !r.done {
 			out = append(out, r)
 		}
+	}
+	for i := len(out); i < len(all); i++ {
+		all[i] = nil
 	}
 	return out
 }
@@ -236,73 +306,145 @@ func (e *Engine) runPrefill(inputs []int, res *Result) units.Seconds {
 }
 
 // runIteration executes one decoding iteration for the live requests and
-// returns its stats. Iteration structure (per layer, serialised): FC(QKV) →
-// link to Attn-PIM → attention → link back → FC(projection+FFN); all-layer
-// work is aggregated into closed forms since layers are identical.
+// returns its stats — the reference path: the attention kernel is derived
+// from a freshly-built KV-length slice and the FC and draft kernels are
+// re-priced from scratch. Iteration structure (per layer, serialised):
+// FC(QKV) → link to Attn-PIM → attention → link back → FC(projection+FFN);
+// all-layer work is aggregated into closed forms since layers are identical.
 func (e *Engine) runIteration(liveReqs []*request, ev sched.Event, res *Result) IterationStat {
 	rlp := len(liveReqs)
-	n := rlp * e.Opt.TLP
-	layers := float64(e.Cfg.Layers)
-
 	kvLens := make([]int, rlp)
 	for i, r := range liveReqs {
 		kvLens[i] = r.InputLen + r.generated
 	}
+	attnLayer := e.Cfg.AttentionKernel(e.Opt.TLP, kvLens)
+	return e.priceIteration(rlp, e.attnPriceFresh(attnLayer, rlp), ev, res)
+}
 
-	// --- FC phase (QKV + projection + FFN over all layers).
-	fcK := e.Cfg.FCIterationKernel(n)
+// runIterationFast is the fast path: one fused, allocation-free decoding
+// iteration. The attention kernel comes from the incremental ΣkvLen the
+// stepper maintains (the closed form of model.AttentionKernelSum, with the
+// engine-hoisted coefficients), priced through pim.ExecuteAttention; the FC
+// and draft kernels are served from the memoized cost tables. Every
+// floating-point value equals the reference path's (priceIteration) —
+// memoized pricing is pure, and the folded coefficients are exact-integer
+// products — which the equivalence tests pin per system, mode and TLP.
+func (e *Engine) runIterationFast(rlp, kvSum int, ev sched.Event, res *Result) IterationStat {
+	n := rlp * e.Opt.TLP
+
+	// --- FC phase, from the cost tables.
 	var fcTime units.Seconds
 	gpuBusy := units.Seconds(0)
 	if ev.Placement == sched.PlacePU && e.Sys.HasGPU() {
-		g := e.Sys.GPU.Execute(fcK.Flops, fcK.WeightBytes+fcK.ActivationBytes)
-		// Three FC kernel launches per layer (QKV, projection, FFN);
-		// Execute charged one launch already.
-		fcTime = g.Time + units.Seconds(float64(e.Sys.GPU.Spec.LaunchLatency)*(3*layers-1))
+		c := e.fcCostPU(n)
+		fcTime = c.time
 		gpuBusy = fcTime
-		res.Energy.Add(energy.GPUActive, g.Energy)
+		res.Energy.AddSlot(energy.SlotGPUActive, c.energy)
 	} else {
-		p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "fc", Class: pim.ClassFC, Flops: fcK.Flops, UniqueBytes: fcK.WeightBytes}, 0)
-		res.Throttled = res.Throttled || p.Throttled
-		fcTime = p.Time + units.Seconds(float64(e.Sys.FCPIM.KernelOverhead)*(3*layers-1))
-		res.Energy.Add(energy.FCPIM, p.Energy.Total())
-		// Activations cross the PU fabric to reach the FC-PIM stacks.
-		tr := e.Sys.PULink.Send(units.Bytes(float64(fcK.ActivationBytes) / layers))
-		fcTime += units.Seconds(float64(tr.Time) * layers)
-		res.Energy.Add(energy.Interconnect, units.Joules(float64(tr.Energy)*layers))
+		c := e.fcCostPIM(n)
+		res.Throttled = res.Throttled || c.throttled
+		fcTime = c.time
+		res.Energy.AddSlot(energy.SlotFCPIM, c.energy)
+		res.Energy.AddSlot(energy.SlotInterconnect, c.linkEnergy)
 	}
 
-	// --- Attention phase on the attention PIM pool (always).
-	attnLayer := e.Cfg.AttentionKernel(e.Opt.TLP, kvLens)
-	attnAll := pim.Kernel{
-		Name:        "attention",
-		Class:       pim.ClassAttention,
-		Flops:       units.FLOPs(float64(attnLayer.Flops) * layers),
-		UniqueBytes: units.Bytes(float64(attnLayer.KVBytes) * layers),
-	}
+	// --- Attention phase, closed-form from ΣkvLen (AttentionKernelSum
+	// inlined against the hoisted coefficients, all-layer scaling fused).
+	h := float64(e.Cfg.Hidden)
+	l := float64(kvSum)
+	attnFlops := e.attnFlopsCoef * l * h
+	attnKV := 4 * l * h
 	activeDev := rlp * e.Cfg.Heads
 	if activeDev > e.Sys.AttnPIM.Count {
 		activeDev = e.Sys.AttnPIM.Count
 	}
-	a := e.Sys.AttnPIM.Execute(attnAll, activeDev)
-	res.Throttled = res.Throttled || a.Throttled
-	attnTime := a.Time + units.Seconds(float64(e.Sys.AttnPIM.KernelOverhead)*(layers-1))
-	res.Energy.Add(energy.AttnPIM, a.Energy.Total())
+	at, aEnergy, aThrottled := e.Sys.AttnPIM.ExecuteAttention(
+		units.FLOPs(attnFlops*e.layersF), units.Bytes(attnKV*e.layersF), activeDev)
+	res.Throttled = res.Throttled || aThrottled
+	attnTime := at + units.Seconds(e.attnOvh)
+	res.Energy.AddSlot(energy.SlotAttnPIM, aEnergy)
+
+	// --- Communication, per layer across the attention fabric.
+	tr := e.Sys.AttnLink.Send(units.Bytes(float64(rlp) * e.attnActTerm))
+	commTime := units.Seconds(float64(tr.Time) * e.layersF)
+	res.Energy.AddSlot(energy.SlotInterconnect, units.Joules(float64(tr.Energy)*e.layersF))
+
+	// --- Other: fixed overheads plus (under speculation) the memoized draft.
+	otherTime := e.otherBase
+	if e.Opt.TLP > 1 {
+		otherTime += e.chargeDraft(e.draftMemoized(), res)
+	}
+
+	iterTime := fcTime + attnTime + commTime + otherTime
+
+	// --- Idle and standby energy, against the hoisted power products.
+	if e.Sys.HasGPU() {
+		if idle := iterTime - gpuBusy; idle > 0 {
+			res.Energy.AddSlot(energy.SlotGPUIdle, units.Joules(e.gpuIdleW*float64(idle)))
+		}
+	}
+	if e.Sys.FCPIM != nil {
+		if idle := iterTime - fcTime; idle > 0 {
+			res.Energy.AddSlot(energy.SlotFCPIM, units.Joules(e.fcStandbyW*float64(idle)))
+		}
+	}
+	if idle := iterTime - attnTime; idle > 0 {
+		res.Energy.AddSlot(energy.SlotAttnPIM, units.Joules(e.attnStandbyW*float64(idle)))
+	}
+
+	res.DecodeTime += iterTime
+	res.Breakdown.FC += fcTime
+	res.Breakdown.Attention += attnTime
+	res.Breakdown.Communication += commTime
+	res.Breakdown.Other += otherTime
+
+	return IterationStat{
+		Index:     ev.Iteration,
+		RLP:       rlp,
+		TLP:       e.Opt.TLP,
+		Placement: ev.Placement,
+		Time:      iterTime,
+	}
+}
+
+// priceIteration executes one decoding iteration given the priced attention
+// phase, charging time and energy to res — the reference path's core, which
+// re-prices the FC and draft kernels from scratch every call.
+func (e *Engine) priceIteration(rlp int, attn attnCost, ev sched.Event, res *Result) IterationStat {
+	n := rlp * e.Opt.TLP
+
+	// --- FC phase (QKV + projection + FFN over all layers).
+	var fcTime units.Seconds
+	gpuBusy := units.Seconds(0)
+	if ev.Placement == sched.PlacePU && e.Sys.HasGPU() {
+		c := e.fcPricePU(n)
+		fcTime = c.time
+		gpuBusy = fcTime
+		res.Energy.Add(energy.GPUActive, c.energy)
+	} else {
+		c := e.fcPricePIM(n)
+		res.Throttled = res.Throttled || c.throttled
+		fcTime = c.time
+		res.Energy.Add(energy.FCPIM, c.energy)
+		// Activations cross the PU fabric to reach the FC-PIM stacks.
+		res.Energy.Add(energy.Interconnect, c.linkEnergy)
+	}
+
+	// --- Attention phase on the attention PIM pool (always).
+	res.Throttled = res.Throttled || attn.throttled
+	attnTime := attn.time
+	res.Energy.Add(energy.AttnPIM, attn.energy)
 
 	// --- Communication: per layer, Q/K/V vectors to the disaggregated
 	// attention devices and the context back (§6.3's byte-level traffic).
-	tr := e.Sys.AttnLink.Send(attnLayer.ActivationBytes)
-	commTime := units.Seconds(float64(tr.Time) * layers)
-	res.Energy.Add(energy.Interconnect, units.Joules(float64(tr.Energy)*layers))
+	commTime := attn.commTime
+	res.Energy.Add(energy.Interconnect, attn.commEnergy)
 
-	// --- Other: draft-model drafting (§2.2.2) plus sampling/gather.
-	otherTime := e.Opt.OtherPerIteration
-	// Search-based placement policies pay their decision latency on the
-	// critical path (§8's SpecPIM argument); PAPI's predictor is free.
-	if cp, ok := e.Sys.Policy.(sched.CostedPolicy); ok {
-		otherTime += cp.DecisionCost()
-	}
+	// --- Other: draft-model drafting (§2.2.2) plus sampling/gather and the
+	// policy's decision latency (otherBase).
+	otherTime := e.otherBase
 	if e.Opt.TLP > 1 {
-		otherTime += e.draftCost(res)
+		otherTime += e.chargeDraft(e.draftPriceFresh(), res)
 	}
 
 	iterTime := fcTime + attnTime + commTime + otherTime
@@ -332,21 +474,16 @@ func (e *Engine) runIteration(liveReqs []*request, ev sched.Event, res *Result) 
 	}
 }
 
-// draftCost returns the visible (non-overlapped) draft-model time for one
-// iteration and charges its energy to whichever engine runs it.
-func (e *Engine) draftCost(res *Result) units.Seconds {
-	k := e.draft.FCIterationKernel(1)
-	var per units.Seconds
-	if e.Sys.HasGPU() {
-		g := e.Sys.GPU.Execute(k.Flops, k.WeightBytes)
-		per = g.Time
-		res.Energy.Add(energy.GPUActive, g.Energy)
+// chargeDraft converts a draft-model pricing into the visible
+// (non-overlapped) per-iteration time and charges its energy to whichever
+// pool runs it.
+func (e *Engine) chargeDraft(d draftPrice, res *Result) units.Seconds {
+	if d.onGPU {
+		res.Energy.Add(energy.GPUActive, d.energy)
 	} else {
-		p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "draft", Class: pim.ClassFC, Flops: k.Flops, UniqueBytes: k.WeightBytes}, 0)
-		per = p.Time
-		res.Energy.Add(energy.FCPIM, p.Energy.Total())
+		res.Energy.Add(energy.FCPIM, d.energy)
 	}
-	serial := float64(per) * float64(e.Opt.TLP)
+	serial := float64(d.per) * float64(e.Opt.TLP)
 	return units.Seconds(serial * (1 - e.Opt.DraftOverlap))
 }
 
@@ -382,8 +519,16 @@ func standby(d *pim.Device, span units.Seconds) units.Joules {
 func (e *Engine) commitTokens(r *request) int {
 	r.iterations++
 	committed := 1
-	for committed < e.Opt.TLP && e.rng.Float64() < e.Opt.AcceptanceRate {
-		committed++
+	if e.Opt.TLP > 1 {
+		if e.rng == nil {
+			// Seeded lazily: TLP = 1 engines never sample, and seeding the
+			// legacy source is expensive enough to show up when a sweep
+			// builds hundreds of replicas.
+			e.rng = rand.New(rand.NewSource(e.Opt.Seed))
+		}
+		for committed < e.Opt.TLP && e.rng.Float64() < e.Opt.AcceptanceRate {
+			committed++
+		}
 	}
 	remaining := r.OutputLen - r.generated
 	if committed > remaining {

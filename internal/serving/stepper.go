@@ -2,6 +2,7 @@ package serving
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/papi-sim/papi/internal/energy"
@@ -68,6 +69,25 @@ type Stepper struct {
 	static    bool
 	clock     units.Seconds
 
+	// Incremental accounting. kvSum is Σ(InputLen+generated) over the active
+	// batch — the attention kernel's only KV-length input (fast path).
+	// kvDemandAll / kvDemandActive are the worst-case KV footprints of all
+	// outstanding / admitted requests, maintained on push, admit and finish
+	// so KVDemand and admission checks are O(1). All terms are integer-valued
+	// floats far below 2⁵³, so the running sums equal a fresh walk exactly.
+	kvSum          int
+	kvDemandAll    units.Bytes
+	kvDemandActive units.Bytes
+
+	// horizon bounds fast-path macro-stepping (see SetHorizon); +Inf when the
+	// stepper owns its whole timeline.
+	horizon units.Seconds
+	// traceHint sizes the Result traces on first use: exact for static
+	// batches (a TLP = 1 batch runs exactly max-output iterations, and
+	// speculation only fewer), a modest floor for streams whose length is
+	// unknowable up front.
+	traceHint int
+
 	finalized bool
 }
 
@@ -86,6 +106,7 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 		maxBatch: len(reqs),
 		static:   true,
 		tracker:  newMetricsTracker(),
+		horizon:  units.Seconds(math.Inf(1)),
 	}
 	inputs := make([]int, len(reqs))
 	for i, r := range reqs {
@@ -96,6 +117,13 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 		s.all = append(s.all, rr)
 		s.active = append(s.active, rr)
 		inputs[i] = r.InputLen
+		s.kvSum += r.InputLen
+		kb := e.Cfg.KVBytes(r.SeqLen())
+		s.kvDemandAll += kb
+		s.kvDemandActive += kb
+		if r.OutputLen > s.traceHint {
+			s.traceHint = r.OutputLen
+		}
 	}
 
 	// Prefill (§2.1): all input tokens processed at once. Compute-bound, so
@@ -108,6 +136,9 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The scheduler's own event trace duplicates Result's RLPTrace/IterStats
+	// and is unreachable through the stepper — don't pay for it per iteration.
+	scheduler.SetTraceCap(0)
 	s.scheduler = scheduler
 	return s, nil
 }
@@ -125,6 +156,7 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 		res:      Result{System: e.Sys.Name, Model: e.Cfg.Name},
 		maxBatch: maxBatch,
 		tracker:  newMetricsTracker(),
+		horizon:  units.Seconds(math.Inf(1)),
 	}
 	for _, r := range reqs {
 		if r.InputLen <= 0 || r.OutputLen <= 0 {
@@ -133,6 +165,7 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 		rr := &request{Request: r}
 		s.all = append(s.all, rr)
 		s.pending = append(s.pending, rr)
+		s.kvDemandAll += e.Cfg.KVBytes(r.SeqLen())
 	}
 	sort.SliceStable(s.pending, func(i, j int) bool {
 		return s.pending[i].Arrival < s.pending[j].Arrival
@@ -141,7 +174,9 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 }
 
 // Push injects one more request into a stream stepper's pending queue. The
-// cluster router calls this at the request's arrival instant.
+// cluster router calls this at the request's arrival instant. Callers that
+// interleave Push with Step on the fast path must also bound Step with
+// SetHorizon (see Step's contract).
 func (s *Stepper) Push(r workload.Request) error {
 	if s.static {
 		return fmt.Errorf("serving: cannot push into a static batch stepper")
@@ -159,6 +194,7 @@ func (s *Stepper) Push(r workload.Request) error {
 	s.pending = append(s.pending, nil)
 	copy(s.pending[i+1:], s.pending[i:])
 	s.pending[i] = rr
+	s.kvDemandAll += s.eng.Cfg.KVBytes(r.SeqLen())
 	return nil
 }
 
@@ -175,16 +211,19 @@ func (s *Stepper) Outstanding() int { return len(s.active) + len(s.pending) }
 
 // KVDemand returns the worst-case KV-cache footprint of every outstanding
 // request (live and queued), the signal the KV-headroom router balances on.
-func (s *Stepper) KVDemand() units.Bytes {
-	var need units.Bytes
-	for _, r := range s.active {
-		need += s.eng.Cfg.KVBytes(r.SeqLen())
-	}
-	for _, r := range s.pending {
-		need += s.eng.Cfg.KVBytes(r.SeqLen())
-	}
-	return need
-}
+// It is O(1): the total is maintained incrementally on push, admission and
+// finish, since this sits on the router hot path (called per replica per
+// arrival).
+func (s *Stepper) KVDemand() units.Bytes { return s.kvDemandAll }
+
+// SetHorizon bounds fast-path macro-stepping: a macro-stepped Step call
+// stops fast-forwarding once its clock reaches t, so a caller interleaving
+// many steppers on one event timeline (internal/cluster) can guarantee no
+// other event — an arrival, a closed-loop follow-up — should have been
+// observed first. It does not affect reference-path stepping, which always
+// advances one iteration per call. The bound is sticky; steppers start with
+// +Inf (they own their whole timeline).
+func (s *Stepper) SetHorizon(t units.Seconds) { s.horizon = t }
 
 // AdvanceTo moves an idle stepper's clock forward to t, accounting the gap
 // as idle time. It is a no-op when t is not ahead of the clock or when live
@@ -208,12 +247,15 @@ func (s *Stepper) admit() error {
 		if cand.Arrival > s.clock {
 			break
 		}
-		if !s.eng.kvFits(s.active, cand) {
+		kb := s.eng.Cfg.KVBytes(cand.SeqLen())
+		if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
 			break
 		}
 		s.active = append(s.active, cand)
 		newcomers = append(newcomers, cand.InputLen)
 		s.pending = s.pending[1:]
+		s.kvSum += cand.InputLen
+		s.kvDemandActive += kb
 	}
 	if len(newcomers) == 0 {
 		return nil
@@ -224,15 +266,28 @@ func (s *Stepper) admit() error {
 	if s.scheduler == nil {
 		var err error
 		s.scheduler, err = sched.NewScheduler(s.eng.Sys.Policy, len(newcomers), s.eng.Opt.TLP)
+		if s.scheduler != nil {
+			s.scheduler.SetTraceCap(0)
+		}
 		return err
 	}
 	return s.scheduler.AdmitRequests(len(newcomers))
 }
 
 // Step advances the engine by one unit of progress: admit any arrived
-// requests, then either run one decoding iteration (decide → iterate →
-// commit), jump the clock to the next arrival if nothing is runnable, or
-// report the stepper drained.
+// requests, then either run decoding work (decide → iterate → commit), jump
+// the clock to the next arrival if nothing is runnable, or report the
+// stepper drained.
+//
+// On the fast path with TLP = 1, one Step may macro-step a whole run of
+// iterations (see macroStep); the stepper accounts for every arrival
+// already in its pending queue, so RunBatch/RunContinuous-style drivers are
+// unaffected. A caller that instead injects arrivals incrementally with
+// Push between Step calls must bound each call with SetHorizon(t) — t being
+// the earliest instant it might push — or build the engine with
+// FastPathOff; otherwise a macro-step can overshoot the instant the caller
+// meant to inject at, admitting the request later than single-stepping
+// would. internal/cluster does exactly this with its event-kernel horizon.
 func (s *Stepper) Step() (StepInfo, error) {
 	if !s.static {
 		if err := s.admit(); err != nil {
@@ -255,8 +310,23 @@ func (s *Stepper) Step() (StepInfo, error) {
 		return StepInfo{Kind: StepIdle}, nil
 	}
 
+	s.ensureTraces()
+
+	// TLP = 1 commits are deterministic (one token per request, no
+	// acceptance sampling), so the fast path can fast-forward a whole run of
+	// identical-RLP iterations; speculative decoding keeps per-iteration
+	// sampling but rides the memoized cost tables.
+	if s.eng.fastPath && s.eng.Opt.TLP == 1 {
+		return s.macroStep()
+	}
+
 	ev := s.scheduler.Decide()
-	it := s.eng.runIteration(s.active, ev, &s.res)
+	var it IterationStat
+	if s.eng.fastPath {
+		it = s.eng.runIterationFast(len(s.active), s.kvSum, ev, &s.res)
+	} else {
+		it = s.eng.runIteration(s.active, ev, &s.res)
+	}
 	s.res.Iterations++
 	if len(s.res.RLPTrace) < traceCap {
 		s.res.RLPTrace = append(s.res.RLPTrace, len(s.active))
@@ -276,6 +346,7 @@ func (s *Stepper) Step() (StepInfo, error) {
 		committed := s.eng.commitTokens(r)
 		s.res.Tokens += committed
 		it.Tokens += committed
+		s.kvSum += committed
 		epoch := units.Seconds(0)
 		if !s.static {
 			epoch = r.Arrival
@@ -284,6 +355,10 @@ func (s *Stepper) Step() (StepInfo, error) {
 		if r.done {
 			eos++
 			info.Finished = append(info.Finished, r.Request)
+			s.kvSum -= r.InputLen + r.generated
+			kb := s.eng.Cfg.KVBytes(r.SeqLen())
+			s.kvDemandAll -= kb
+			s.kvDemandActive -= kb
 		}
 	}
 	if len(s.res.IterStats) < traceCap {
@@ -295,7 +370,138 @@ func (s *Stepper) Step() (StepInfo, error) {
 	info.Iteration = it
 	info.Completed = eos
 	// Drop finished requests from the active set to release KV capacity.
-	s.active = live(s.active)
+	if eos > 0 {
+		s.active = live(s.active)
+	}
+	return info, nil
+}
+
+// ensureTraces pre-sizes the per-iteration traces — the decode loop's only
+// growing allocations — so steady-state stepping never reallocates them.
+// Lazy (on the first iteration) so runs that never iterate keep nil traces;
+// capacity is invisible in the Result, so both decode paths stay deep-equal.
+func (s *Stepper) ensureTraces() {
+	if s.res.RLPTrace != nil {
+		return
+	}
+	hint := s.traceHint
+	if hint == 0 {
+		// Stream mode: run length is unknowable up front. 2048 entries
+		// (~110 KiB) covers typical continuous-batching cells in one
+		// allocation; worst case one doubling reaches the cap.
+		hint = 2048
+	}
+	if hint > traceCap {
+		hint = traceCap
+	}
+	s.res.RLPTrace = make([]int, 0, hint)
+	s.res.IterStats = make([]IterationStat, 0, hint)
+}
+
+// macroStep is the fast path's TLP = 1 macro-stepping: it fast-forwards a
+// run of identical-RLP iterations inside one Step call. With one
+// deterministic token committed per request per iteration, nothing the
+// scheduler or the admission logic observes can change before the earliest
+// finish, the next admissible arrival, or the caller's horizon — so the
+// window's interior needs no per-request commit walk, only the
+// closed-form-per-iteration pricing (the attention term grows linearly in
+// ΣkvLen, an arithmetic series walked with the exact float operations of the
+// reference path so every trace entry, energy charge and clock value stays
+// bit-identical to K single Steps). Per-request bookkeeping is applied once,
+// in bulk, at the window's end.
+func (s *Stepper) macroStep() (StepInfo, error) {
+	rlp := len(s.active)
+	// Iterations until the earliest finish: the window's hard bound, so
+	// completions (and the StepInfo.Finished hook) land on their exact
+	// iteration.
+	k := math.MaxInt
+	for _, r := range s.active {
+		if rem := r.OutputLen - r.generated; rem < k {
+			k = rem
+		}
+	}
+	// The window pauses once the head-of-line pending request is admissible:
+	// from its arrival onward (which may already have passed — e.g. it
+	// arrived during another request's prefill), every iteration boundary
+	// admits it, so the window cannot fast-forward past one. A
+	// capacity-blocked head is different: batch slots and KV headroom only
+	// free at a finish, which already ends the window, so it need not bound
+	// the interior at all.
+	nextArrival := units.Seconds(math.Inf(1))
+	if !s.static && len(s.pending) > 0 {
+		head := s.pending[0]
+		if len(s.active) < s.maxBatch &&
+			s.kvDemandActive+s.eng.Cfg.KVBytes(head.SeqLen()) <= s.eng.Sys.KVCapacity() {
+			nextArrival = head.Arrival
+		}
+	}
+
+	// One Decide covers the whole window: with RLP and TLP frozen, every
+	// interior iteration would reach the same placement with no reschedule,
+	// so the scheduler is advanced in bulk (Repeat) when the window closes.
+	ev := s.scheduler.Decide()
+	run := 0
+	var firstClock units.Seconds
+	var last IterationStat
+	for {
+		it := s.eng.runIterationFast(rlp, s.kvSum, ev, &s.res)
+		s.res.Iterations++
+		if len(s.res.RLPTrace) < traceCap {
+			s.res.RLPTrace = append(s.res.RLPTrace, rlp)
+		}
+		if s.static {
+			s.clock = s.res.PrefillTime + s.res.DecodeTime
+		} else {
+			s.clock += it.Time
+		}
+		run++
+		s.kvSum += rlp // every live request grew by its committed token
+		it.Tokens = rlp
+		if run == 1 {
+			firstClock = s.clock
+		}
+		if len(s.res.IterStats) < traceCap {
+			s.res.IterStats = append(s.res.IterStats, it)
+		}
+		last = it
+		if run == k || nextArrival <= s.clock || s.clock >= s.horizon {
+			break
+		}
+		ev.Iteration++
+	}
+	s.scheduler.Repeat(run - 1)
+
+	// Bulk-commit the window: each request gained one token per iteration;
+	// only the final iteration can have finished requests (those whose
+	// remaining output equalled the window length).
+	info := StepInfo{Kind: StepIteration, Iteration: last}
+	s.res.Tokens += run * rlp
+	eos := 0
+	for _, r := range s.active {
+		r.iterations += run
+		r.generated += run
+		epoch := units.Seconds(0)
+		if !s.static {
+			epoch = r.Arrival
+		}
+		s.tracker.observeRun(r, run, firstClock, s.clock, epoch)
+		if r.generated >= r.OutputLen {
+			r.done = true
+			eos++
+			info.Finished = append(info.Finished, r.Request)
+			s.kvSum -= r.InputLen + r.generated
+			kb := s.eng.Cfg.KVBytes(r.SeqLen())
+			s.kvDemandAll -= kb
+			s.kvDemandActive -= kb
+		}
+	}
+	if err := s.scheduler.ObserveEOS(eos); err != nil {
+		return StepInfo{}, err
+	}
+	info.Completed = eos
+	if eos > 0 {
+		s.active = live(s.active)
+	}
 	return info, nil
 }
 

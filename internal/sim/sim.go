@@ -73,6 +73,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are waiting.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt reports the timestamp of the earliest pending event. The second
+// return is false when the queue is empty. Called from inside an event
+// callback, it sees the true next event (the running event has already been
+// popped) — the property the cluster layer's macro-stepping horizon relies
+// on: no future event can be scheduled earlier than this instant.
+func (e *Engine) NextAt() (units.Seconds, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // At schedules fn to run at the absolute instant t. Scheduling in the past is
 // a programming error and panics: it would silently reorder causality.
 func (e *Engine) At(t units.Seconds, fn Event) {
