@@ -5,6 +5,7 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_PR3.json
 //	benchjson -diff BENCH_PR2.json BENCH_PR3.json
+//	benchjson -diff -fail-over 25 BENCH_PR3.json bench.json   # gate: exit 1 on >25% regressions
 package main
 
 import (
@@ -94,10 +95,19 @@ func load(path string) (Document, error) {
 	return doc, err
 }
 
+// gatedUnits are the metrics the -fail-over tolerance gate judges:
+// allocations and bytes per op, which are deterministic for this module's
+// fixed-seed benchmarks and identical across machines. ns/op stays
+// informational — the committed snapshot and a CI runner are different
+// hardware, so gating wall time would fail on machine speed, not code.
+var gatedUnits = map[string]bool{"allocs/op": true, "B/op": true}
+
 // diff renders old-vs-new for the units both snapshots share, and flags
 // benchmarks that appear on only one side — a tracked hot-path benchmark
-// silently disappearing is exactly what this tool exists to catch.
-func diff(oldDoc, newDoc Document, w io.Writer) {
+// silently disappearing is exactly what this tool exists to catch. With
+// failOver > 0 it returns the gated metrics that regressed by more than
+// failOver percent.
+func diff(oldDoc, newDoc Document, w io.Writer, failOver float64) (regressions []string) {
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldDoc.Benchmarks {
 		oldBy[b.Name] = b
@@ -129,20 +139,28 @@ func diff(oldDoc, newDoc Document, w io.Writer) {
 			o, n := ob.Metrics[u], nb.Metrics[u]
 			delta := "~"
 			if o != 0 {
-				delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+				pct := 100 * (n - o) / o
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if failOver > 0 && gatedUnits[u] && pct > failOver {
+					regressions = append(regressions,
+						fmt.Sprintf("%s %s regressed %+.1f%% (%.4g → %.4g), tolerance %g%%",
+							nb.Name, u, pct, o, n, failOver))
+				}
 			}
 			fmt.Fprintf(w, "%-34s %-12s %14.4g %14.4g %9s\n", nb.Name, u, o, n, delta)
 		}
 	}
+	return regressions
 }
 
 func main() {
 	diffMode := flag.Bool("diff", false, "diff two BENCH json files instead of converting bench output")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit non-zero when any allocs/op or B/op metric regresses by more than this percentage (0 disables the gate; wall time stays informational)")
 	flag.Parse()
 
 	if *diffMode {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-fail-over PCT] OLD.json NEW.json")
 			os.Exit(2)
 		}
 		oldDoc, err := load(flag.Arg(0))
@@ -155,7 +173,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		diff(oldDoc, newDoc, os.Stdout)
+		regressions := diff(oldDoc, newDoc, os.Stdout, *failOver)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchjson: %d regression(s) beyond tolerance:\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 

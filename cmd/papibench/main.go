@@ -19,36 +19,8 @@ import (
 	"github.com/papi-sim/papi/internal/serving"
 )
 
-type figure struct {
-	id  string
-	run func() fmt.Stringer
-}
-
-func figures() []figure {
-	return []figure{
-		{"2", func() fmt.Stringer { return experiments.Fig2() }},
-		{"3", func() fmt.Stringer { return experiments.Fig3(64) }},
-		{"4", func() fmt.Stringer { return experiments.Fig4() }},
-		{"6", func() fmt.Stringer { return experiments.Fig6() }},
-		{"7e", func() fmt.Stringer { return experiments.Fig7Energy() }},
-		{"7p", func() fmt.Stringer { return experiments.Fig7Power() }},
-		{"8", func() fmt.Stringer { return experiments.Fig8() }},
-		{"9", func() fmt.Stringer { return experiments.Fig9() }},
-		{"10", func() fmt.Stringer { return experiments.Fig10() }},
-		{"11", func() fmt.Stringer { return experiments.Fig11() }},
-		{"12", func() fmt.Stringer { return experiments.Fig12() }},
-		{"ablation-alpha", func() fmt.Stringer { return experiments.AblationAlpha() }},
-		{"ablation-hybrid", func() fmt.Stringer { return experiments.AblationHybridPIM() }},
-		{"ablation-sched", func() fmt.Stringer { return experiments.AblationDynamicVsStatic() }},
-		{"ablation-batching", func() fmt.Stringer { return experiments.AblationBatching() }},
-		{"ablation-schedcost", func() fmt.Stringer { return experiments.AblationSchedulingCost() }},
-		{"capacity", func() fmt.Stringer { return experiments.Capacity() }},
-		{"scenarios", func() fmt.Stringer { return experiments.Scenarios() }},
-	}
-}
-
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity)")
 	fastpath := flag.String("fastpath", "on", "decode-loop fast path: on (memoized cost tables + macro-stepping) or off (reference path); both produce byte-identical output")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -74,14 +46,7 @@ func run(which, fastpath, cpuprofile, memprofile string) error {
 
 	// Validate the figure selection before profiling starts.
 	if which != "" {
-		known := false
-		for _, f := range figures() {
-			if f.id == which {
-				known = true
-				break
-			}
-		}
-		if !known {
+		if _, err := experiments.FigureByID(which); err != nil {
 			return fmt.Errorf("unknown figure %q", which)
 		}
 	}
@@ -98,12 +63,12 @@ func run(which, fastpath, cpuprofile, memprofile string) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	for _, f := range figures() {
-		if which != "" && f.id != which {
+	for _, f := range experiments.Figures() {
+		if which != "" && f.ID != which {
 			continue
 		}
-		fmt.Printf("================ figure %s ================\n", f.id)
-		fmt.Println(f.run().String())
+		fmt.Printf("================ figure %s ================\n", f.ID)
+		fmt.Println(f.Run().String())
 	}
 
 	if memprofile != "" {

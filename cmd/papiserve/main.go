@@ -14,6 +14,8 @@
 //	papiserve -scenario burst-creative -replicas 2 -requests 48
 //	papiserve -scenario chat-multiturn -save-trace chat.json
 //	papiserve -trace chat.json -design "PIM-only PAPI"
+//	papiserve -scenario tiered-diurnal -autoscale 1:4 -requests 240
+//	papiserve -rate 30 -classes 0.4 -replicas 2 -requests 96
 package main
 
 import (
@@ -49,15 +51,18 @@ func main() {
 		scenario  = flag.String("scenario", "", "named workload scenario (see docs/SCENARIOS.md); overrides -dataset/-rate")
 		traceIn   = flag.String("trace", "", "replay a saved trace file instead of generating arrivals")
 		traceOut  = flag.String("save-trace", "", "export the run's realised arrival stream as a trace file")
+		autoscale = flag.String("autoscale", "", `elastic fleet bounds "min:max": scale replicas with load instead of static provisioning (-replicas is the initial size)`)
+		classes   = flag.Float64("classes", 0, "fraction of generated requests tagged batch-class (preemptible); scenarios and traces carry their own classes")
 	)
 	flag.Parse()
 
 	if err := run(options{
 		design: *design, modelName: *modelName, dataset: *dataset,
 		routerName: *router, sweep: *sweep, scenario: *scenario,
-		traceIn: *traceIn, traceOut: *traceOut,
+		traceIn: *traceIn, traceOut: *traceOut, autoscale: *autoscale,
 		replicas: *replicas, requests: *requests, maxBatch: *maxBatch,
 		spec: *spec, seed: *seed, rate: *rate, sloMS: *sloMS, target: *target,
+		classes: *classes,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
@@ -66,10 +71,11 @@ func main() {
 
 type options struct {
 	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
+	autoscale                                                                  string
 
 	replicas, requests, maxBatch, spec int
 	seed                               int64
-	rate, sloMS, target                float64
+	rate, sloMS, target, classes       float64
 }
 
 func run(o options) error {
@@ -78,10 +84,13 @@ func run(o options) error {
 		return err
 	}
 	slo := workload.SLO{TokenLatency: units.Milliseconds(o.sloMS)}
+	if o.classes < 0 || o.classes > 1 {
+		return fmt.Errorf("-classes %g outside [0, 1]", o.classes)
+	}
 
 	if o.sweep != "" {
-		if o.scenario != "" || o.traceIn != "" || o.traceOut != "" {
-			return fmt.Errorf("-sweep cannot be combined with -scenario, -trace, or -save-trace")
+		if o.scenario != "" || o.traceIn != "" || o.traceOut != "" || o.autoscale != "" || o.classes != 0 {
+			return fmt.Errorf("-sweep cannot be combined with -scenario, -trace, -save-trace, -autoscale, or -classes")
 		}
 		ds, err := workload.ByName(o.dataset)
 		if err != nil {
@@ -104,13 +113,25 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if o.classes > 0 && (o.scenario != "" || o.traceIn != "") {
+		return fmt.Errorf("-classes only applies to generated streams; scenarios and traces carry their own classes")
+	}
+	var auto *cluster.AutoscaleOptions
+	if o.autoscale != "" {
+		min, max, err := parseBounds(o.autoscale)
+		if err != nil {
+			return err
+		}
+		auto = cluster.DefaultAutoscale(min, max, slo)
+	}
 	opt := serving.DefaultOptions(o.spec)
 	opt.Seed = o.seed
 	c, err := cluster.NewByName(o.design, cfg, cluster.Options{
-		Replicas: o.replicas,
-		MaxBatch: o.maxBatch,
-		Router:   rt,
-		Serving:  opt,
+		Replicas:  o.replicas,
+		MaxBatch:  o.maxBatch,
+		Router:    rt,
+		Serving:   opt,
+		Autoscale: auto,
 	})
 	if err != nil {
 		return err
@@ -166,7 +187,11 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		f, err = c.Run(ds.Poisson(o.requests, o.rate, o.seed))
+		reqs := ds.Poisson(o.requests, o.rate, o.seed)
+		if o.classes > 0 {
+			workload.AssignClasses(reqs, o.classes, o.seed+1)
+		}
+		f, err = c.Run(reqs)
 		if err != nil {
 			return err
 		}
@@ -188,6 +213,21 @@ func run(o options) error {
 		fmt.Printf("saved %d realised arrivals to %s\n", len(tr.Requests), o.traceOut)
 	}
 	return nil
+}
+
+func parseBounds(s string) (min, max int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf(`-autoscale wants "min:max", got %q`, s)
+	}
+	min, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err == nil {
+		max, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if err != nil || min < 1 || max < min {
+		return 0, 0, fmt.Errorf(`-autoscale wants "min:max" with 1 ≤ min ≤ max, got %q`, s)
+	}
+	return min, max, nil
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -5,6 +5,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"github.com/papi-sim/papi/internal/experiments"
 )
 
 // docs/SCENARIOS.md documents each registered scenario under a "## `name`"
@@ -47,19 +49,136 @@ func TestScenarioDocsMatchRegistry(t *testing.T) {
 	}
 }
 
-// docs/ARCHITECTURE.md is the layer-map entry point; keep it present and
-// linked from the README alongside the scenario doc.
-func TestArchitectureDocsLinked(t *testing.T) {
-	if _, err := os.Stat("docs/ARCHITECTURE.md"); err != nil {
-		t.Fatalf("docs/ARCHITECTURE.md missing: %v", err)
+// docs/ARCHITECTURE.md and docs/TESTING.md are the entry points; keep them
+// present and linked from the README (and TESTING from ARCHITECTURE).
+func TestDocsPresentAndLinked(t *testing.T) {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Fatalf("%s missing: %v", doc, err)
+		}
 	}
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/SCENARIOS.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not link %s", want)
+		}
+	}
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "TESTING.md") {
+		t.Error("docs/ARCHITECTURE.md does not link docs/TESTING.md")
+	}
+}
+
+// commandDocs are the documents whose quoted papibench/papiserve commands
+// are validated against the real flag sets and registries: a doc quoting a
+// figure, scenario, or flag that no longer exists must fail the suite.
+var commandDocs = []string{
+	"README.md",
+	"docs/ARCHITECTURE.md",
+	"docs/SCENARIOS.md",
+	"docs/PERFORMANCE.md",
+	"docs/TESTING.md",
+}
+
+// Known flags per command, mirroring the flag definitions in
+// cmd/papiserve/main.go and cmd/papibench/main.go. Adding a flag to a
+// command means adding it here; removing one fails this test for every doc
+// still quoting it — which is the point.
+var commandFlags = map[string]map[string]bool{
+	"papiserve": set("design", "model", "dataset", "replicas", "router", "rate",
+		"requests", "maxbatch", "spec", "seed", "slo", "target", "sweep",
+		"scenario", "trace", "save-trace", "autoscale", "classes"),
+	"papibench": set("figure", "fastpath", "cpuprofile", "memprofile"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// TestDocCommandsResolve tokenizes every same-line papiserve/papibench
+// invocation quoted in the docs and validates each `-flag` against the
+// command's flag set, each `-figure` value against the experiments figure
+// registry, and each `-scenario` value against the workload scenario
+// registry. Placeholder values (`<name>`, globs) are skipped;
+// `a|b`-alternative values are validated per alternative.
+func TestDocCommandsResolve(t *testing.T) {
+	figures := map[string]bool{}
+	for _, id := range experiments.FigureIDs() {
+		figures[id] = true
+	}
+	scenarios := map[string]bool{}
+	for _, name := range ScenarioNames() {
+		scenarios[name] = true
+	}
+
+	clean := func(tok string) string {
+		return strings.Trim(tok, "`(),.;:\"'")
+	}
+	plain := regexp.MustCompile(`^[a-z0-9-]+$`)
+	checkValue := func(t *testing.T, doc, cmd, flag, raw string, known map[string]bool) {
+		val := clean(raw)
+		if val == "" || strings.ContainsAny(val, "<>*$") {
+			return // placeholder or glob: nothing concrete to resolve
+		}
+		for _, alt := range strings.Split(val, "|") {
+			if !plain.MatchString(alt) {
+				continue
+			}
+			if !known[alt] {
+				t.Errorf("%s quotes `%s -%s %s`, but %q does not resolve", doc, cmd, flag, raw, alt)
+			}
+		}
+	}
+
+	for _, doc := range commandDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			for cmd, flags := range commandFlags {
+				idx := strings.Index(line, cmd)
+				if idx < 0 {
+					continue
+				}
+				toks := strings.Fields(line[idx+len(cmd):])
+				for i, raw := range toks {
+					// A flag ending in prose punctuation ("a named
+					// `-scenario`, or …") is a mention, not an invocation:
+					// validate the flag but not a following "value".
+					mention := strings.HasSuffix(raw, ",") || strings.HasSuffix(raw, ";")
+					tok := clean(raw)
+					if !strings.HasPrefix(tok, "-") || len(tok) < 2 {
+						continue
+					}
+					name, _, _ := strings.Cut(strings.TrimLeft(tok, "-"), "=")
+					if name == "" || !plain.MatchString(name) {
+						continue
+					}
+					if !flags[name] {
+						t.Errorf("%s quotes `%s -%s`, which is not a %s flag", doc, cmd, name, cmd)
+						continue
+					}
+					if i+1 < len(toks) && !mention {
+						switch name {
+						case "figure":
+							checkValue(t, doc, cmd, name, toks[i+1], figures)
+						case "scenario":
+							checkValue(t, doc, cmd, name, toks[i+1], scenarios)
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,129 @@
+// Elastic SLO-driven serving: the fleet follows the load instead of being
+// provisioned for the worst second of the day. The example first runs the
+// tiered-diurnal scenario — a sinusoidal day curve carrying a 65/35 mix of
+// interactive qa and preemptible batch creative work — through a statically
+// peak-provisioned fleet and through an autoscaled one, comparing the SLO
+// outcome of the interactive tier against the replica-seconds and J/token
+// each policy spent. It then prints the autoscaler's decision timeline, and
+// closes with a KV-pressure vignette: batch long-context requests filling
+// the attention pool are preempted (evicted and requeued with a re-prefill
+// cost) so interactive arrivals are admitted instead of rejected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/papi-sim/papi"
+)
+
+func main() {
+	cfg := papi.LLaMA65B()
+	slo := papi.SLO{TokenLatency: papi.Seconds(0.012)}
+
+	sc, err := papi.ScenarioByName("tiered-diurnal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := sc.Requests(240, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Static peak provisioning vs the elastic fleet, identical traffic.
+	static := runFleet(cfg, stream, 4, nil)
+	auto := runFleet(cfg, stream, 2, &papi.AutoscaleOptions{
+		Min: 1, Max: 4,
+		Interval: 0.25, WarmUp: 1, CoolDown: 0.25,
+		SLO:          slo,
+		UpTPOTFactor: 0.75, UpQueue: 8, DownQueue: 2, UpArrivalRate: 5,
+	})
+
+	fmt.Println("policy      | peak | replica·s | J/token | int TPOT p99 | int SLO attain")
+	fmt.Println("------------+------+-----------+---------+--------------+---------------")
+	for _, row := range []struct {
+		name string
+		f    *papi.FleetResult
+	}{{"static-4", static}, {"autoscaled", auto}} {
+		f := row.f
+		fmt.Printf("%-11s | %4d | %9.2f | %7.1f | %12v | %13.1f%%\n",
+			row.name, f.PeakReplicas, float64(f.ReplicaSeconds), f.JoulesPerToken(),
+			papi.Seconds(f.InteractiveTPOT.P99),
+			100*f.AttainmentClass(slo, papi.ClassInteractive))
+	}
+	fmt.Printf("\nelasticity: %.1f%% fewer replica-seconds than static peak provisioning\n\n",
+		100*(1-float64(auto.ReplicaSeconds)/float64(static.ReplicaSeconds)))
+
+	// --- The controller's decision timeline.
+	fmt.Println("autoscaler timeline (signals at each decision):")
+	for _, ev := range auto.ScaleEvents {
+		switch ev.Action {
+		case papi.ScaleUp, papi.ScaleDrain:
+			fmt.Printf("  %8v  %-9s replica %d  (queue/replica %.1f, p95 TPOT %v, %.2f arrivals/s/replica)\n",
+				ev.At, ev.Action, ev.Replica, ev.QueuePerReplica, ev.TPOTP95, ev.ArrivalRate)
+		default:
+			fmt.Printf("  %8v  %-9s replica %d\n", ev.At, ev.Action, ev.Replica)
+		}
+	}
+
+	// --- Priority admission and preemption under KV pressure: GPT-3 175B
+	// long-context traffic, where ~50 grown requests fill the attention
+	// pool. Batch work saturates the pool first; interactive arrivals then
+	// preempt it instead of queueing behind it.
+	fmt.Println("\nKV-pressure preemption (GPT-3 175B, long-context):")
+	eng, err := papi.NewEngine(papi.NewPAPI(), papi.GPT3_175B(), papi.DefaultOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reqs []papi.Request
+	for i := 0; i < 80; i++ {
+		reqs = append(reqs, papi.Request{ID: i, InputLen: 2048, OutputLen: 1024,
+			Class: papi.ClassBatch})
+	}
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, papi.Request{ID: 80 + i, InputLen: 2048, OutputLen: 256,
+			Arrival: papi.Seconds(0.5 + 0.25*float64(i)), Class: papi.ClassInteractive})
+	}
+	res, err := eng.RunContinuous(reqs, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d preemptions over %d requests, %d tokens\n",
+		res.Preemptions, len(reqs), res.Tokens)
+	var intSum, batSum papi.Seconds
+	intN, batN, preempted := 0, 0, 0
+	for _, rm := range res.Requests {
+		if rm.Preemptions > 0 {
+			preempted++
+		}
+		switch rm.Class {
+		case papi.ClassInteractive:
+			intSum += rm.TPOT
+			intN++
+		case papi.ClassBatch:
+			batSum += rm.TPOT
+			batN++
+		}
+	}
+	fmt.Printf("  %d distinct batch requests were evicted and re-prefilled\n", preempted)
+	fmt.Printf("  mean TPOT — interactive: %v · batch: %v (the tier that pays for the pool)\n",
+		intSum/papi.Seconds(intN), batSum/papi.Seconds(batN))
+}
+
+func runFleet(cfg papi.Model, stream []papi.Request, replicas int, auto *papi.AutoscaleOptions) *papi.FleetResult {
+	c, err := papi.NewCluster(papi.NewPAPI, cfg, papi.ClusterOptions{
+		Replicas:  replicas,
+		MaxBatch:  16,
+		Router:    papi.LeastOutstanding(),
+		Serving:   papi.DefaultOptions(1),
+		Autoscale: auto,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := c.Run(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,52 @@
+package papi
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Every examples/* program must build and run to completion: the examples
+// are executable documentation of the facade, so a facade change that breaks
+// one must fail the suite, not a reader. Each example runs in its own
+// subtest with a generous timeout (they all finish in well under a second
+// once built).
+func TestExamplesRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test compiles and runs every example; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out:\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("examples/ holds no example programs")
+	}
+}

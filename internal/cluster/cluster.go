@@ -36,7 +36,9 @@ import (
 
 // Options configures a cluster run.
 type Options struct {
-	// Replicas is the number of identical serving engines (≥ 1).
+	// Replicas is the number of identical serving engines (≥ 1). With
+	// autoscaling enabled this is the initial fleet size, within
+	// [Autoscale.Min, Autoscale.Max].
 	Replicas int
 	// MaxBatch is each replica's continuous-batching admission cap.
 	MaxBatch int
@@ -47,6 +49,11 @@ type Options struct {
 	// not replay identical speculation outcomes while the fleet as a whole
 	// stays deterministic.
 	Serving serving.Options
+	// Autoscale, when non-nil, runs the elastic control loop: the fleet
+	// grows and shrinks between Autoscale.Min and Autoscale.Max replicas in
+	// response to windowed load signals (see AutoscaleOptions). Nil keeps
+	// the fleet statically provisioned at Replicas.
+	Autoscale *AutoscaleOptions
 }
 
 func (o Options) validate() error {
@@ -56,7 +63,48 @@ func (o Options) validate() error {
 	if o.MaxBatch <= 0 {
 		return fmt.Errorf("cluster: max batch %d must be positive", o.MaxBatch)
 	}
+	if o.Autoscale != nil {
+		if err := o.Autoscale.validate(); err != nil {
+			return err
+		}
+		if o.Replicas < o.Autoscale.Min || o.Replicas > o.Autoscale.Max {
+			return fmt.Errorf("cluster: initial replica count %d outside autoscale bounds [%d, %d]",
+				o.Replicas, o.Autoscale.Min, o.Autoscale.Max)
+		}
+	}
 	return nil
+}
+
+// replicaState is a replica's position in the elastic lifecycle. Statically
+// provisioned fleets keep every replica active for the whole run.
+type replicaState int
+
+const (
+	// repActive replicas take new traffic.
+	repActive replicaState = iota
+	// repWarming replicas are booting (provisioned but not yet serving);
+	// they draw power from bootAt and join the eligible set at liveAt.
+	repWarming
+	// repDraining replicas finish their in-flight requests but accept no new
+	// ones; they stop (and stop accruing energy) once empty.
+	repDraining
+	// repStopped replicas are powered off.
+	repStopped
+)
+
+// String names the state as scale events and debug output spell it.
+func (s replicaState) String() string {
+	switch s {
+	case repActive:
+		return "active"
+	case repWarming:
+		return "warming"
+	case repDraining:
+		return "draining"
+	case repStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
 }
 
 // Replica is one serving engine's slot in the fleet, exposing the load
@@ -72,6 +120,19 @@ type Replica struct {
 	scheduled bool
 	// routed counts requests this replica received.
 	routed int
+
+	// Elastic lifecycle (see replicaState). bootAt is the instant the
+	// replica powered on (0 for the initial fleet), liveAt when it started
+	// taking traffic (bootAt plus warm-up), stopAt when a drained replica
+	// powered off.
+	state  replicaState
+	bootAt units.Seconds
+	liveAt units.Seconds
+	stopAt units.Seconds
+	// holds counts live closed-loop conversations pinned to this replica
+	// (their grown KV context lives here, and follow-ups must come back).
+	// The autoscaler never drains a replica while it holds one.
+	holds int
 }
 
 // Outstanding counts the replica's admitted-but-unfinished plus queued
@@ -143,7 +204,17 @@ type fleetRun struct {
 	c      *Cluster
 	reps   []*Replica
 	kernel *sim.Engine
+	costs  *serving.CostTable
 	err    error
+	// eligible caches the replicas currently taking traffic (state active);
+	// rebuilt on the rare lifecycle transitions rather than per arrival.
+	eligible []*Replica
+	// scaler is the elastic control loop; nil for static fleets.
+	scaler *scaler
+	// nextTick is the next autoscaler control instant (+Inf when none) —
+	// part of the open-loop macro-stepping horizon, since a control tick
+	// reads every replica's signals.
+	nextTick units.Seconds
 	// stream records every request actually injected, in injection order —
 	// the realised arrivals a Trace replays.
 	stream []workload.Request
@@ -155,8 +226,8 @@ type fleetRun struct {
 	// fast-path macro-stepping must not cross (see Stepper.SetHorizon). The
 	// default bounds by the kernel's next pending event, which is always
 	// safe: new events are only scheduled at or after it. Run tightens this
-	// to the next unfired arrival, since open-loop step events never touch
-	// other replicas.
+	// to the next unfired arrival (and, when autoscaling, the next control
+	// tick), since open-loop step events never touch other replicas.
 	horizon func() units.Seconds
 }
 
@@ -168,29 +239,66 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 	if costs == nil {
 		costs = serving.NewCostTable()
 	}
-	reps := make([]*Replica, c.opt.Replicas)
-	for i := range reps {
-		opt := c.opt.Serving
-		opt.Seed += int64(i)
-		opt.Costs = costs
-		eng, err := serving.New(c.newSys(), c.cfg, opt)
-		if err != nil {
+	r := &fleetRun{c: c, kernel: sim.New(), costs: costs,
+		nextTick: units.Seconds(math.Inf(1))}
+	for i := 0; i < c.opt.Replicas; i++ {
+		if _, err := r.addReplica(0, 0, repActive); err != nil {
 			return nil, err
 		}
-		st, err := eng.NewStreamStepper(nil, c.opt.MaxBatch)
-		if err != nil {
-			return nil, err
-		}
-		reps[i] = &Replica{ID: i, engine: eng, stepper: st}
 	}
-	r := &fleetRun{c: c, reps: reps, kernel: sim.New()}
+	r.rebuildEligible()
 	r.horizon = func() units.Seconds {
 		if t, ok := r.kernel.NextAt(); ok {
 			return t
 		}
 		return units.Seconds(math.Inf(1))
 	}
+	if c.opt.Autoscale != nil {
+		opt := c.opt.Autoscale.withDefaults(c.opt.MaxBatch)
+		r.scaler = &scaler{opt: opt, run: r, peak: c.opt.Replicas,
+			lastAction: units.Seconds(math.Inf(-1))}
+		r.nextTick = opt.Interval
+		r.kernel.At(r.nextTick, r.scaler.tick)
+	}
 	return r, nil
+}
+
+// addReplica builds one more replica engine on the shared cost table. A
+// warming replica powers on at bootAt (its clock starts there, so busy/idle
+// accounting — and host energy — covers only its powered-on span) and takes
+// traffic from liveAt; the caller schedules the activation event.
+func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) (*Replica, error) {
+	opt := r.c.opt.Serving
+	opt.Seed += int64(len(r.reps))
+	opt.Costs = r.costs
+	eng, err := serving.New(r.c.newSys(), r.c.cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.NewStreamStepper(nil, r.c.opt.MaxBatch)
+	if err != nil {
+		return nil, err
+	}
+	if bootAt > 0 {
+		if err := st.StartAt(bootAt); err != nil {
+			return nil, err
+		}
+	}
+	rep := &Replica{ID: len(r.reps), engine: eng, stepper: st,
+		state: state, bootAt: bootAt, liveAt: liveAt}
+	r.reps = append(r.reps, rep)
+	return rep, nil
+}
+
+// rebuildEligible refreshes the routable-replica cache after a lifecycle
+// transition.
+func (r *fleetRun) rebuildEligible() {
+	r.eligible = r.eligible[:0]
+	for _, rep := range r.reps {
+		if rep.state == repActive {
+			r.eligible = append(r.eligible, rep)
+		}
+	}
 }
 
 // schedule arms a replica's step event at its next work instant: it absorbs
@@ -209,6 +317,9 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 		if err != nil {
 			r.err = err
 			return
+		}
+		if r.scaler != nil {
+			r.scaler.observeStep(rep, info)
 		}
 		if r.onFinish != nil {
 			for _, req := range info.Finished {
@@ -230,6 +341,9 @@ func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds)
 	}
 	r.stream = append(r.stream, req)
 	rep.routed++
+	if r.scaler != nil {
+		r.scaler.arrivals++
+	}
 	if !rep.scheduled {
 		at := now
 		// An idle replica's clock may lead the fleet clock (it committed
@@ -243,15 +357,16 @@ func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds)
 }
 
 // route picks a replica for an arriving request via the cluster's router and
-// injects it.
+// injects it. The router only sees the eligible (active) replicas: warming
+// replicas are still booting and draining replicas accept no new work.
 func (r *fleetRun) route(req workload.Request, now units.Seconds) *Replica {
-	idx := r.c.opt.Router.Route(req, r.reps)
-	if idx < 0 || idx >= len(r.reps) {
+	idx := r.c.opt.Router.Route(req, r.eligible)
+	if idx < 0 || idx >= len(r.eligible) {
 		r.err = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
-			r.c.opt.Router.Name(), idx, len(r.reps))
+			r.c.opt.Router.Name(), idx, len(r.eligible))
 		return nil
 	}
-	rep := r.reps[idx]
+	rep := r.eligible[idx]
 	r.inject(rep, req, now)
 	return rep
 }
@@ -262,7 +377,7 @@ func (r *fleetRun) finish(want int) (*FleetResult, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	return aggregate(r.c.sysName, r.c.cfg.Name, r.c.opt.Router.Name(), r.reps, r.stream, want)
+	return aggregate(r, want)
 }
 
 // Run consumes the request stream to completion and returns fleet metrics.
@@ -288,17 +403,20 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
 
 	// Open-loop runs only interact across replicas at arrivals (the router
-	// reads fleet state, the chosen replica gains a request), and every
-	// arrival instant is known up front — so a replica may macro-step up to
-	// the next unfired arrival, not merely the kernel's next event, which
-	// would throttle fast-forwarding to the other replicas' step cadence.
+	// reads fleet state, the chosen replica gains a request) and — when
+	// autoscaling — at control ticks (the scaler reads every replica's
+	// signals), and both kinds of instant are known ahead — so a replica may
+	// macro-step up to the earlier of the next unfired arrival and the next
+	// tick, not merely the kernel's next event, which would throttle
+	// fast-forwarding to the other replicas' step cadence.
 	arrivals := make([]units.Seconds, len(stream))
 	fired := 0
 	r.horizon = func() units.Seconds {
-		if fired < len(arrivals) {
-			return arrivals[fired]
+		h := r.nextTick
+		if fired < len(arrivals) && arrivals[fired] < h {
+			h = arrivals[fired]
 		}
-		return units.Seconds(math.Inf(1))
+		return h
 	}
 	for i := range stream {
 		req := stream[i]
@@ -370,10 +488,15 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 	}
 
 	// A completed turn launches the conversation's next turn think-time
-	// later, on the same replica.
+	// later, on the same replica. A finished conversation releases its hold
+	// on the replica, making it drainable again.
 	r.onFinish = func(rep *Replica, req workload.Request) {
 		st, ok := byReq[req.ID]
-		if !ok || st.next >= len(st.conv.Turns) {
+		if !ok {
+			return
+		}
+		if st.next >= len(st.conv.Turns) {
+			rep.holds--
 			return
 		}
 		turn := st.conv.Turns[st.next]
@@ -426,6 +549,9 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 				return
 			}
 			st.rep = r.route(first, now)
+			if st.rep != nil {
+				st.rep.holds++
+			}
 		})
 	}
 

@@ -40,41 +40,97 @@ type FleetResult struct {
 	Makespan units.Seconds
 	// Tokens is the fleet-wide generated token count.
 	Tokens int
-	// Energy merges every replica's ledger.
+	// Energy merges every replica's ledger. Replicas still powered on at
+	// the fleet's end idle until the makespan (the fleet is decommissioned
+	// as a unit), so a statically over-provisioned fleet pays for its idle
+	// replicas — the cost autoscaling exists to shed. A drained replica
+	// stops accruing at its power-off instant.
 	Energy energy.Ledger
+
+	// Preemptions counts fleet-wide evict-and-requeue events (batch-class
+	// requests pushed out for interactive arrivals under KV pressure).
+	Preemptions int
+
+	// ReplicaSeconds sums every replica's powered-on span (boot to power-off
+	// or makespan) — the fleet's provisioned capacity-time, the denominator
+	// of elastic efficiency. PeakReplicas is the most replicas ever powered
+	// on concurrently; for a static fleet it equals the replica count and
+	// ReplicaSeconds = replicas × makespan.
+	ReplicaSeconds units.Seconds
+	PeakReplicas   int
+	// ScaleEvents is the elastic audit trail (nil for static fleets).
+	ScaleEvents []ScaleEvent
 
 	// TTFT and TPOT digest the request latency distributions (seconds).
 	// TPOT summarises multi-token requests only: single-token requests have
 	// no inter-token cadence (their TPOT is 0 by definition).
-	TTFT stats.Summary
-	TPOT stats.Summary
+	// InteractiveTPOT and BatchTPOT split the TPOT digest by priority class
+	// (zeros when a class is absent).
+	TTFT            stats.Summary
+	TPOT            stats.Summary
+	InteractiveTPOT stats.Summary
+	BatchTPOT       stats.Summary
 }
 
 // aggregate finalises every replica and folds the fleet metrics.
-func aggregate(system, model, router string, reps []*Replica, stream []workload.Request, want int) (*FleetResult, error) {
-	f := &FleetResult{System: system, Model: model, Router: router}
-	f.Stream = append([]workload.Request(nil), stream...)
+func aggregate(r *fleetRun, want int) (*FleetResult, error) {
+	f := &FleetResult{System: r.c.sysName, Model: r.c.cfg.Name, Router: r.c.opt.Router.Name()}
+	f.Stream = append([]workload.Request(nil), r.stream...)
 	sort.SliceStable(f.Stream, func(i, j int) bool {
 		if f.Stream[i].Arrival != f.Stream[j].Arrival {
 			return f.Stream[i].Arrival < f.Stream[j].Arrival
 		}
 		return f.Stream[i].ID < f.Stream[j].ID
 	})
-	var ttfts, tpots []float64
-	for _, rep := range reps {
+
+	// The makespan is fixed first; replicas still powered on then idle up
+	// to it (the fleet is decommissioned as a unit), so trailing idle — and
+	// its host energy — lands on the ledger of every replica that was kept
+	// on. Stopped replicas froze at their power-off instant.
+	for _, rep := range r.reps {
+		if t := rep.Now(); t > f.Makespan {
+			f.Makespan = t
+		}
+	}
+	for _, rep := range r.reps {
+		if rep.state != repStopped {
+			rep.stepper.AdvanceTo(f.Makespan)
+		}
+	}
+
+	f.PeakReplicas = len(r.reps)
+	if r.scaler != nil {
+		f.PeakReplicas = r.scaler.peak
+		// Non-nil even when no decision fired: ScaleEvents != nil is the
+		// "this fleet was elastic" marker String and callers key on.
+		f.ScaleEvents = append(make([]ScaleEvent, 0, len(r.scaler.events)), r.scaler.events...)
+	}
+
+	var ttfts, tpots, tpotsInteractive, tpotsBatch []float64
+	for _, rep := range r.reps {
 		res := rep.stepper.Finalize()
 		f.Replicas = append(f.Replicas, res)
 		f.Routed = append(f.Routed, rep.routed)
 		f.Tokens += res.Tokens
+		f.Preemptions += res.Preemptions
 		f.Energy.Merge(&res.Energy)
-		if t := rep.Now(); t > f.Makespan {
-			f.Makespan = t
+		end := f.Makespan
+		if rep.state == repStopped {
+			end = rep.stopAt
+		}
+		if span := end - rep.bootAt; span > 0 {
+			f.ReplicaSeconds += span
 		}
 		for _, rm := range res.Requests {
 			f.Requests = append(f.Requests, rm)
 			ttfts = append(ttfts, float64(rm.TTFT))
 			if rm.OutputTokens > 1 {
 				tpots = append(tpots, float64(rm.TPOT))
+				if rm.Class == workload.ClassBatch {
+					tpotsBatch = append(tpotsBatch, float64(rm.TPOT))
+				} else {
+					tpotsInteractive = append(tpotsInteractive, float64(rm.TPOT))
+				}
 			}
 		}
 	}
@@ -84,6 +140,8 @@ func aggregate(system, model, router string, reps []*Replica, stream []workload.
 	sort.Slice(f.Requests, func(i, j int) bool { return f.Requests[i].ID < f.Requests[j].ID })
 	f.TTFT = stats.Summarize(ttfts)
 	f.TPOT = stats.Summarize(tpots)
+	f.InteractiveTPOT = stats.Summarize(tpotsInteractive)
+	f.BatchTPOT = stats.Summarize(tpotsBatch)
 	return f, nil
 }
 
@@ -110,6 +168,22 @@ func (f *FleetResult) Attainment(slo workload.SLO) float64 {
 	return serving.SLOAttainment(f.Requests, slo)
 }
 
+// AttainmentClass scores one priority class against the SLO (1 when the
+// class is absent — an empty tier violates nothing).
+func (f *FleetResult) AttainmentClass(slo workload.SLO, class workload.Class) float64 {
+	return serving.SLOAttainmentClass(f.Requests, slo, class)
+}
+
+// JoulesPerToken is the fleet's energy cost per generated token — with the
+// decommission-at-makespan accounting, the figure an elastic fleet improves
+// by shedding idle replicas.
+func (f *FleetResult) JoulesPerToken() float64 {
+	if f.Tokens == 0 {
+		return 0
+	}
+	return float64(f.Energy.Total()) / float64(f.Tokens)
+}
+
 // String renders the per-replica table and the fleet digest.
 func (f *FleetResult) String() string {
 	tb := stats.NewTable(
@@ -126,10 +200,28 @@ func (f *FleetResult) String() string {
 			r.Energy.Total().String(),
 		)
 	}
-	return tb.String() + fmt.Sprintf(
+	out := tb.String() + fmt.Sprintf(
 		"makespan %v · %d tokens (%.0f tok/s, %.2f req/s) · energy %v\n"+
 			"TTFT p50/p95/p99 %v / %v / %v · TPOT p50/p95/p99 %v / %v / %v\n",
 		f.Makespan, f.Tokens, f.TokensPerSecond(), f.RequestsPerSecond(), f.Energy.Total(),
 		units.Seconds(f.TTFT.P50), units.Seconds(f.TTFT.P95), units.Seconds(f.TTFT.P99),
 		units.Seconds(f.TPOT.P50), units.Seconds(f.TPOT.P95), units.Seconds(f.TPOT.P99))
+	if f.Preemptions > 0 {
+		out += fmt.Sprintf("preemptions %d · interactive TPOT p95 %v · batch TPOT p95 %v\n",
+			f.Preemptions, units.Seconds(f.InteractiveTPOT.P95), units.Seconds(f.BatchTPOT.P95))
+	}
+	if f.ScaleEvents != nil {
+		ups, drains := 0, 0
+		for _, ev := range f.ScaleEvents {
+			switch ev.Action {
+			case ScaleUp:
+				ups++
+			case ScaleDrain:
+				drains++
+			}
+		}
+		out += fmt.Sprintf("autoscale: peak %d replicas · %v replica-seconds · %d scale-ups / %d drains\n",
+			f.PeakReplicas, f.ReplicaSeconds, ups, drains)
+	}
+	return out
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// The elasticity headline is this repo's production claim: on the tiered
+// day curve, the autoscaled fleet holds the interactive p99 TPOT SLO at peak
+// while spending measurably less provisioned capacity-time and energy per
+// token than static peak provisioning. This test pins it.
+func TestElasticityAutoscaledBeatsStaticPeak(t *testing.T) {
+	r := Elasticity()
+
+	if len(r.Cells) != 5 {
+		t.Fatalf("expected 4 static cells + 1 autoscaled, got %d", len(r.Cells))
+	}
+	auto, ok := r.Autoscaled()
+	if !ok {
+		t.Fatal("sweep has no autoscaled cell")
+	}
+	base, ok := r.StaticBaseline()
+	if !ok {
+		t.Fatal("no static cell meets the SLO — the ladder no longer brackets the load")
+	}
+
+	if !auto.MeetsSLO(r.SLO) {
+		t.Errorf("autoscaled interactive p99 TPOT %v misses the %v SLO",
+			units.Seconds(auto.InteractiveTPOT.P99), r.SLO.TokenLatency)
+	}
+	if auto.ReplicaSeconds >= base.ReplicaSeconds {
+		t.Errorf("autoscaled replica-seconds %v not below static baseline %s's %v",
+			auto.ReplicaSeconds, base.Config, base.ReplicaSeconds)
+	}
+	if auto.JoulesPerToken >= base.JoulesPerToken {
+		t.Errorf("autoscaled J/token %.2f not below static baseline %s's %.2f",
+			auto.JoulesPerToken, base.Config, base.JoulesPerToken)
+	}
+	if auto.ScaleUps == 0 || auto.Drains == 0 {
+		t.Errorf("elastic cell never scaled (ups %d, drains %d)", auto.ScaleUps, auto.Drains)
+	}
+	if auto.PeakReplicas > 4 {
+		t.Errorf("autoscaled peak %d exceeds the [1, 4] bound", auto.PeakReplicas)
+	}
+
+	// The static ladder must be coherent: every cell serves the identical
+	// stream, so tokens agree everywhere and more replicas never worsen the
+	// interactive tail.
+	for _, c := range r.Cells {
+		if c.Tokens != r.Cells[0].Tokens {
+			t.Errorf("%s generated %d tokens, %s %d — streams diverged",
+				c.Config, c.Tokens, r.Cells[0].Config, r.Cells[0].Tokens)
+		}
+	}
+	var prev *ElasticityCell
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if !strings.HasPrefix(c.Config, "static-") {
+			continue
+		}
+		if prev != nil && c.InteractiveTPOT.P99 > prev.InteractiveTPOT.P99*1.05 {
+			t.Errorf("%s interactive p99 %v noticeably worse than %s's %v",
+				c.Config, units.Seconds(c.InteractiveTPOT.P99),
+				prev.Config, units.Seconds(prev.InteractiveTPOT.P99))
+		}
+		prev = c
+	}
+}
+
+// The sweep is deterministic: a repeat run reproduces every cell exactly,
+// and the serial evaluation matches the parallel one.
+func TestElasticityDeterministic(t *testing.T) {
+	a := Elasticity()
+	b := ElasticitySweep(model.LLaMA65B(), 4, 240, 16, a.SLO, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel and serial elasticity sweeps diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}

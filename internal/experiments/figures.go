@@ -1,0 +1,58 @@
+package experiments
+
+import "fmt"
+
+// Figure is one named reproduction or grown experiment: the ID as
+// cmd/papibench spells it (`-figure <id>`) and a runner producing its
+// printable result. Keeping the registry here — rather than in the command —
+// lets the docs cross-check test validate every `-figure` flag quoted in the
+// documentation against the real set.
+type Figure struct {
+	ID  string
+	Run func() fmt.Stringer
+}
+
+// Figures returns every figure in presentation order.
+func Figures() []Figure {
+	return []Figure{
+		{"2", func() fmt.Stringer { return Fig2() }},
+		{"3", func() fmt.Stringer { return Fig3(64) }},
+		{"4", func() fmt.Stringer { return Fig4() }},
+		{"6", func() fmt.Stringer { return Fig6() }},
+		{"7e", func() fmt.Stringer { return Fig7Energy() }},
+		{"7p", func() fmt.Stringer { return Fig7Power() }},
+		{"8", func() fmt.Stringer { return Fig8() }},
+		{"9", func() fmt.Stringer { return Fig9() }},
+		{"10", func() fmt.Stringer { return Fig10() }},
+		{"11", func() fmt.Stringer { return Fig11() }},
+		{"12", func() fmt.Stringer { return Fig12() }},
+		{"ablation-alpha", func() fmt.Stringer { return AblationAlpha() }},
+		{"ablation-hybrid", func() fmt.Stringer { return AblationHybridPIM() }},
+		{"ablation-sched", func() fmt.Stringer { return AblationDynamicVsStatic() }},
+		{"ablation-batching", func() fmt.Stringer { return AblationBatching() }},
+		{"ablation-schedcost", func() fmt.Stringer { return AblationSchedulingCost() }},
+		{"capacity", func() fmt.Stringer { return Capacity() }},
+		{"scenarios", func() fmt.Stringer { return Scenarios() }},
+		{"elasticity", func() fmt.Stringer { return Elasticity() }},
+	}
+}
+
+// FigureIDs lists every registered figure ID in presentation order.
+func FigureIDs() []string {
+	figs := Figures()
+	ids := make([]string, len(figs))
+	for i, f := range figs {
+		ids[i] = f.ID
+	}
+	return ids
+}
+
+// FigureByID resolves one figure.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, FigureIDs())
+}

@@ -194,6 +194,21 @@ func (s *Scheduler) ObserveEOS(count int) error {
 	return nil
 }
 
+// Evict releases RLP for requests preempted out of the running batch — the
+// admission layer's evict-and-requeue under KV pressure. Unlike ObserveEOS,
+// the evicted requests are not finished: they re-enter the pending queue and
+// will raise RLP again through AdmitRequests when re-admitted.
+func (s *Scheduler) Evict(count int) error {
+	if count < 0 {
+		return fmt.Errorf("sched: negative evict count %d", count)
+	}
+	if count > s.rlp {
+		return fmt.Errorf("sched: evict count %d exceeds RLP %d", count, s.rlp)
+	}
+	s.rlp -= count
+	return nil
+}
+
 // AdmitRequests raises RLP when new requests join the running batch (mixed
 // continuous batching).
 func (s *Scheduler) AdmitRequests(count int) error {

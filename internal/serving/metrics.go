@@ -22,6 +22,11 @@ type RequestMetrics struct {
 	Completion units.Seconds
 	// OutputTokens is the number of tokens the request produced.
 	OutputTokens int
+	// Class is the request's priority class (interactive or batch).
+	Class workload.Class
+	// Preemptions counts how many times the request was evicted from the
+	// active batch and requeued (batch-class requests under KV pressure).
+	Preemptions int
 }
 
 // SLOAttainment returns the fraction of requests meeting the per-token SLO.
@@ -49,6 +54,30 @@ func SLOAttainment(reqs []RequestMetrics, slo workload.SLO) float64 {
 	return float64(met) / float64(len(reqs))
 }
 
+// SLOAttainmentClass scores only the requests of one priority class against
+// the per-token SLO (same single-token rule as SLOAttainment). It returns 1
+// when the class is absent from the set: an empty tier violates nothing.
+func SLOAttainmentClass(reqs []RequestMetrics, slo workload.SLO, class workload.Class) float64 {
+	met, n := 0, 0
+	for _, r := range reqs {
+		if r.Class != class {
+			continue
+		}
+		n++
+		lat := r.TPOT
+		if r.OutputTokens <= 1 {
+			lat = r.Completion
+		}
+		if slo.Met(lat) {
+			met++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(met) / float64(n)
+}
+
 // metricsTracker accumulates per-request timings during a run.
 type metricsTracker struct {
 	byID map[int]*RequestMetrics
@@ -64,7 +93,7 @@ func newMetricsTracker() *metricsTracker {
 func (m *metricsTracker) entry(r *request, ttft units.Seconds) *RequestMetrics {
 	rm, ok := m.byID[r.ID]
 	if !ok {
-		rm = &RequestMetrics{ID: r.ID, TTFT: ttft}
+		rm = &RequestMetrics{ID: r.ID, TTFT: ttft, Class: r.Class}
 		m.byID[r.ID] = rm
 	}
 	r.rm = rm

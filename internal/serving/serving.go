@@ -120,6 +120,11 @@ type Result struct {
 	Breakdown   TimeBreakdown
 	Energy      energy.Ledger
 	Reschedules int
+	// Preemptions counts evict-and-requeue events: batch-class requests
+	// pushed out of the active batch to make KV room for an interactive
+	// arrival (each re-admission pays a fresh prefill over the grown
+	// context).
+	Preemptions int
 	Throttled   bool
 
 	// RLPTrace is the request-level parallelism at each iteration (Fig. 3's
@@ -244,10 +249,22 @@ type request struct {
 	generated  int
 	iterations int
 	done       bool
+	// readyAt orders the pending queue: the request's arrival, or — after a
+	// preemption — the instant it was evicted and requeued. Never before
+	// Arrival, so admission eligibility is unchanged for fresh requests.
+	readyAt units.Seconds
+	// preempted counts how many times the request was evicted from the
+	// active batch (batch-class requests only).
+	preempted int
 	// rm caches this request's metrics entry so the per-iteration observe
 	// path skips the tracker's by-ID map (see metricsTracker.entry).
 	rm *RequestMetrics
 }
+
+// contextLen is the KV length the request occupies on (re-)admission: its
+// prompt plus every token already generated. A preempted request lost its KV
+// cache, so re-admission re-prefills the full grown context.
+func (r *request) contextLen() int { return r.InputLen + r.generated }
 
 // RunBatch executes one statically-batched inference: prefill for the whole
 // batch, then decode iterations until every request has produced its output

@@ -72,12 +72,20 @@ type Stepper struct {
 	// Incremental accounting. kvSum is Σ(InputLen+generated) over the active
 	// batch — the attention kernel's only KV-length input (fast path).
 	// kvDemandAll / kvDemandActive are the worst-case KV footprints of all
-	// outstanding / admitted requests, maintained on push, admit and finish
-	// so KVDemand and admission checks are O(1). All terms are integer-valued
-	// floats far below 2⁵³, so the running sums equal a fresh walk exactly.
+	// outstanding / admitted requests, maintained on push, admit, evict and
+	// finish so KVDemand and admission checks are O(1). All terms are
+	// integer-valued floats far below 2⁵³, so the running sums equal a fresh
+	// walk exactly.
 	kvSum          int
 	kvDemandAll    units.Bytes
 	kvDemandActive units.Bytes
+
+	// Outstanding-per-class counters (pending + active), maintained on push,
+	// finish and — pending-only — admit/evict. A stream is "tiered" while
+	// both classes are outstanding: admission is then priority-aware and
+	// macro-stepping falls back to single-iteration stepping (see Step).
+	pendInteractive, pendBatch int
+	actInteractive, actBatch   int
 
 	// horizon bounds fast-path macro-stepping (see SetHorizon); +Inf when the
 	// stepper owns its whole timeline.
@@ -113,9 +121,10 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 		if r.InputLen <= 0 || r.OutputLen <= 0 {
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
-		rr := &request{Request: r}
+		rr := &request{Request: r, readyAt: r.Arrival}
 		s.all = append(s.all, rr)
 		s.active = append(s.active, rr)
+		s.countClass(r.Class, &s.actInteractive, &s.actBatch, +1)
 		inputs[i] = r.InputLen
 		s.kvSum += r.InputLen
 		kb := e.Cfg.KVBytes(r.SeqLen())
@@ -162,15 +171,34 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 		if r.InputLen <= 0 || r.OutputLen <= 0 {
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
-		rr := &request{Request: r}
+		rr := &request{Request: r, readyAt: r.Arrival}
 		s.all = append(s.all, rr)
 		s.pending = append(s.pending, rr)
+		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
 		s.kvDemandAll += e.Cfg.KVBytes(r.SeqLen())
 	}
 	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].Arrival < s.pending[j].Arrival
+		return s.pending[i].readyAt < s.pending[j].readyAt
 	})
 	return s, nil
+}
+
+// countClass bumps the interactive or batch counter for a class by delta.
+func (s *Stepper) countClass(c workload.Class, interactive, batch *int, delta int) {
+	if c == workload.ClassBatch {
+		*batch += delta
+	} else {
+		*interactive += delta
+	}
+}
+
+// tiered reports whether both priority classes are outstanding — the regime
+// in which admission is priority-aware (interactive jumps blocked batch
+// traffic and may preempt it) and fast-path macro-stepping is disabled,
+// because an interior iteration boundary could then admit or evict a request
+// the head-of-queue window bound does not see.
+func (s *Stepper) tiered() bool {
+	return s.pendBatch+s.actBatch > 0 && s.pendInteractive+s.actInteractive > 0
 }
 
 // Push injects one more request into a stream stepper's pending queue. The
@@ -184,18 +212,24 @@ func (s *Stepper) Push(r workload.Request) error {
 	if r.InputLen <= 0 || r.OutputLen <= 0 {
 		return fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 	}
-	rr := &request{Request: r}
+	rr := &request{Request: r, readyAt: r.Arrival}
 	s.all = append(s.all, rr)
-	// Arrivals are pushed in time order in practice; insert stably so an
-	// out-of-order push cannot corrupt the queue.
+	s.enqueue(rr)
+	s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
+	s.kvDemandAll += s.eng.Cfg.KVBytes(r.SeqLen())
+	return nil
+}
+
+// enqueue inserts a request into the pending queue ordered by readyAt.
+// Arrivals are pushed in time order in practice; insert stably so an
+// out-of-order push (or an eviction requeue) cannot corrupt the queue.
+func (s *Stepper) enqueue(rr *request) {
 	i := sort.Search(len(s.pending), func(i int) bool {
-		return s.pending[i].Arrival > r.Arrival
+		return s.pending[i].readyAt > rr.readyAt
 	})
 	s.pending = append(s.pending, nil)
 	copy(s.pending[i+1:], s.pending[i:])
 	s.pending[i] = rr
-	s.kvDemandAll += s.eng.Cfg.KVBytes(r.SeqLen())
-	return nil
 }
 
 // Now reports the engine-local clock: prefill plus decode plus idle time
@@ -225,6 +259,42 @@ func (s *Stepper) KVDemand() units.Bytes { return s.kvDemandAll }
 // +Inf (they own their whole timeline).
 func (s *Stepper) SetHorizon(t units.Seconds) { s.horizon = t }
 
+// StartAt moves a fresh stream stepper's clock to t without accruing idle
+// time — the boot instant of a replica provisioned mid-run by the cluster
+// autoscaler, whose busy/idle accounting (and therefore host energy) must
+// start at boot rather than at the fleet's time zero. It is only valid on a
+// stream stepper that has seen no work: no requests, no iterations, no clock
+// movement.
+func (s *Stepper) StartAt(t units.Seconds) error {
+	if s.static {
+		return fmt.Errorf("serving: cannot StartAt a static batch stepper")
+	}
+	if len(s.all) > 0 || s.res.Iterations > 0 || s.clock != 0 || s.res.IdleTime != 0 {
+		return fmt.Errorf("serving: StartAt on a stepper that already has history")
+	}
+	if t < 0 {
+		return fmt.Errorf("serving: StartAt instant %v is negative", t)
+	}
+	s.clock = t
+	return nil
+}
+
+// PeekMetrics returns a snapshot of one request's latency metrics mid-run,
+// with TPOT computed from the tokens observed so far — the signal the
+// cluster autoscaler reads per completion without waiting for Finalize. The
+// second return is false when the request has produced no tokens yet.
+func (s *Stepper) PeekMetrics(id int) (RequestMetrics, bool) {
+	rm, ok := s.tracker.byID[id]
+	if !ok {
+		return RequestMetrics{}, false
+	}
+	out := *rm
+	if out.OutputTokens > 1 {
+		out.TPOT = (out.Completion - out.TTFT) / units.Seconds(out.OutputTokens-1)
+	}
+	return out, true
+}
+
 // AdvanceTo moves an idle stepper's clock forward to t, accounting the gap
 // as idle time. It is a no-op when t is not ahead of the clock or when live
 // requests still occupy the engine (a busy engine's clock only advances by
@@ -237,26 +307,78 @@ func (s *Stepper) AdvanceTo(t units.Seconds) {
 	s.clock = t
 }
 
-// admit moves pending requests whose arrival has passed into the active
-// batch, bounded by the admission cap and the attention pool's KV capacity,
-// and charges their prefill (piggybacked onto the token timeline).
+// admit moves pending requests whose ready instant has passed into the
+// active batch, bounded by the admission cap and the attention pool's KV
+// capacity, and charges their prefill (piggybacked onto the token timeline).
+//
+// Admission is priority-aware. Interactive requests are admitted first, in
+// ready order, skipping over blocked batch traffic; an interactive candidate
+// that does not fit the KV pool may preempt active batch requests
+// (evict-and-requeue, see preemptFor) instead of waiting for a completion.
+// Batch requests are admitted strictly from the queue head, and only while
+// no admissible interactive request is blocked ahead of them — batch
+// traffic must not grab the capacity an interactive request is waiting for.
+// With a single class outstanding both phases reduce to the classic FIFO
+// head-of-line admission.
 func (s *Stepper) admit() error {
 	var newcomers []int
-	for len(s.pending) > 0 && len(s.active)+len(newcomers) < s.maxBatch {
-		cand := s.pending[0]
-		if cand.Arrival > s.clock {
-			break
-		}
-		kb := s.eng.Cfg.KVBytes(cand.SeqLen())
-		if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
-			break
-		}
+
+	place := func(cand *request, kb units.Bytes) {
 		s.active = append(s.active, cand)
-		newcomers = append(newcomers, cand.InputLen)
-		s.pending = s.pending[1:]
-		s.kvSum += cand.InputLen
+		newcomers = append(newcomers, cand.contextLen())
+		s.countClass(cand.Class, &s.pendInteractive, &s.pendBatch, -1)
+		s.countClass(cand.Class, &s.actInteractive, &s.actBatch, +1)
+		s.kvSum += cand.contextLen()
 		s.kvDemandActive += kb
 	}
+
+	// Phase one: interactive admission (skipped when none is pending). The
+	// first interactive candidate that cannot be placed — even with
+	// preemption — blocks the rest of its class (FIFO fairness within the
+	// tier) and bars batch admission below.
+	interactiveBlocked := false
+	if s.pendInteractive > 0 {
+		for i := 0; i < len(s.pending) && len(s.active) < s.maxBatch; {
+			cand := s.pending[i]
+			if cand.readyAt > s.clock {
+				break
+			}
+			if cand.Class == workload.ClassBatch {
+				i++
+				continue
+			}
+			kb := s.eng.Cfg.KVBytes(cand.SeqLen())
+			if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
+				ok, err := s.preemptFor(kb)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					interactiveBlocked = true
+					break
+				}
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			place(cand, kb)
+		}
+	}
+
+	// Phase two: batch admission from the literal queue head.
+	if !interactiveBlocked {
+		for len(s.pending) > 0 && len(s.active) < s.maxBatch {
+			cand := s.pending[0]
+			if cand.Class != workload.ClassBatch || cand.readyAt > s.clock {
+				break
+			}
+			kb := s.eng.Cfg.KVBytes(cand.SeqLen())
+			if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
+				break
+			}
+			s.pending = s.pending[1:]
+			place(cand, kb)
+		}
+	}
+
 	if len(newcomers) == 0 {
 		return nil
 	}
@@ -272,6 +394,53 @@ func (s *Stepper) admit() error {
 		return err
 	}
 	return s.scheduler.AdmitRequests(len(newcomers))
+}
+
+// preemptFor makes KV room for an interactive candidate needing kb bytes by
+// evicting batch-class requests from the active set, most recent admission
+// first. An evicted request loses its KV cache: it re-enters the pending
+// queue ready immediately, and its eventual re-admission re-prefills the
+// full grown context (prompt plus every token already generated) — the
+// paper-world cost of preemption. When even evicting every active batch
+// request would not free enough capacity, nothing is evicted. Reports
+// whether the candidate now fits.
+func (s *Stepper) preemptFor(kb units.Bytes) (bool, error) {
+	kvCap := s.eng.Sys.KVCapacity()
+	var evictable units.Bytes
+	for _, r := range s.active {
+		if r.Class == workload.ClassBatch {
+			evictable += s.eng.Cfg.KVBytes(r.SeqLen())
+		}
+	}
+	if s.kvDemandActive-evictable+kb > kvCap {
+		return false, nil
+	}
+	evicted := 0
+	for i := len(s.active) - 1; i >= 0 && s.kvDemandActive+kb > kvCap; i-- {
+		r := s.active[i]
+		if r.Class != workload.ClassBatch {
+			continue
+		}
+		s.active = append(s.active[:i], s.active[i+1:]...)
+		s.kvSum -= r.contextLen()
+		s.kvDemandActive -= s.eng.Cfg.KVBytes(r.SeqLen())
+		s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
+		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
+		r.readyAt = s.clock
+		r.preempted++
+		if r.rm != nil {
+			r.rm.Preemptions++
+		}
+		s.enqueue(r)
+		s.res.Preemptions++
+		evicted++
+	}
+	if evicted > 0 {
+		if err := s.scheduler.Evict(evicted); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
 }
 
 // Step advances the engine by one unit of progress: admit any arrived
@@ -298,15 +467,27 @@ func (s *Stepper) Step() (StepInfo, error) {
 		if len(s.pending) == 0 {
 			return StepInfo{Kind: StepDrained}, nil
 		}
-		gap := s.pending[0].Arrival - s.clock
+		gap := s.pending[0].readyAt - s.clock
 		if gap <= 0 {
-			// The head request has arrived but could not be admitted with
-			// an empty batch: its KV cache alone exceeds the pool.
+			// A request has arrived but could not be admitted with an empty
+			// batch: some arrived request's KV cache alone exceeds the pool
+			// (with priority tiers that may be an interactive request behind
+			// the queue head, whose block also bars batch admission).
+			blocked := s.pending[0]
+			for _, r := range s.pending {
+				if r.readyAt > s.clock {
+					break
+				}
+				if s.eng.Cfg.KVBytes(r.SeqLen()) > s.eng.Sys.KVCapacity() {
+					blocked = r
+					break
+				}
+			}
 			return StepInfo{}, fmt.Errorf("serving: request %d KV footprint exceeds attention pool capacity",
-				s.pending[0].ID)
+				blocked.ID)
 		}
 		s.res.IdleTime += gap
-		s.clock = s.pending[0].Arrival
+		s.clock = s.pending[0].readyAt
 		return StepInfo{Kind: StepIdle}, nil
 	}
 
@@ -315,8 +496,11 @@ func (s *Stepper) Step() (StepInfo, error) {
 	// TLP = 1 commits are deterministic (one token per request, no
 	// acceptance sampling), so the fast path can fast-forward a whole run of
 	// identical-RLP iterations; speculative decoding keeps per-iteration
-	// sampling but rides the memoized cost tables.
-	if s.eng.fastPath && s.eng.Opt.TLP == 1 {
+	// sampling but rides the memoized cost tables. Tiered streams (both
+	// priority classes outstanding) single-step: a macro window's
+	// head-of-queue bound cannot see mid-window priority admissions or
+	// preemptions.
+	if s.eng.fastPath && s.eng.Opt.TLP == 1 && !s.tiered() {
 		return s.macroStep()
 	}
 
@@ -359,6 +543,7 @@ func (s *Stepper) Step() (StepInfo, error) {
 			kb := s.eng.Cfg.KVBytes(r.SeqLen())
 			s.kvDemandAll -= kb
 			s.kvDemandActive -= kb
+			s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
 		}
 	}
 	if len(s.res.IterStats) < traceCap {
@@ -432,7 +617,7 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 		head := s.pending[0]
 		if len(s.active) < s.maxBatch &&
 			s.kvDemandActive+s.eng.Cfg.KVBytes(head.SeqLen()) <= s.eng.Sys.KVCapacity() {
-			nextArrival = head.Arrival
+			nextArrival = head.readyAt
 		}
 	}
 
@@ -493,6 +678,7 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 			kb := s.eng.Cfg.KVBytes(r.SeqLen())
 			s.kvDemandAll -= kb
 			s.kvDemandActive -= kb
+			s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
 		}
 	}
 	if err := s.scheduler.ObserveEOS(eos); err != nil {

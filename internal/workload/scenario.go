@@ -8,10 +8,14 @@ import (
 	"github.com/papi-sim/papi/internal/units"
 )
 
-// WeightedDataset is one component of a scenario's length mix.
+// WeightedDataset is one component of a scenario's length mix. Class tags
+// every request drawn from the component with a priority class, so a tiered
+// scenario can mix latency-bound interactive traffic with preemptible batch
+// work in one stream (zero value: interactive).
 type WeightedDataset struct {
 	Dataset Dataset
 	Weight  float64
+	Class   Class
 }
 
 // ThinkTimeDist is a clamped log-normal over user think time — the gap
@@ -104,9 +108,9 @@ type Scenario struct {
 func (s Scenario) ClosedLoop() bool { return s.MultiTurn != nil }
 
 // pick samples one mix component by weight.
-func (s Scenario) pick(rng *rand.Rand) Dataset {
+func (s Scenario) pick(rng *rand.Rand) WeightedDataset {
 	if len(s.Mix) == 1 {
-		return s.Mix[0].Dataset
+		return s.Mix[0]
 	}
 	total := 0.0
 	for _, w := range s.Mix {
@@ -116,10 +120,10 @@ func (s Scenario) pick(rng *rand.Rand) Dataset {
 	for _, w := range s.Mix {
 		x -= w.Weight
 		if x < 0 {
-			return w.Dataset
+			return w
 		}
 	}
-	return s.Mix[len(s.Mix)-1].Dataset
+	return s.Mix[len(s.Mix)-1]
 }
 
 // Requests draws an open-loop stream of n requests deterministically from
@@ -136,12 +140,13 @@ func (s Scenario) Requests(n int, seed int64) ([]Request, error) {
 	times := ArrivalTimes(proc, n, rng)
 	reqs := make([]Request, n)
 	for i := range reqs {
-		ds := s.pick(rng)
+		w := s.pick(rng)
 		reqs[i] = Request{
 			ID:        i,
-			InputLen:  ds.Input.Sample(rng),
-			OutputLen: ds.Output.Sample(rng),
+			InputLen:  w.Dataset.Input.Sample(rng),
+			OutputLen: w.Dataset.Output.Sample(rng),
 			Arrival:   times[i],
+			Class:     w.Class,
 		}
 	}
 	return reqs, nil
@@ -176,7 +181,7 @@ func (s Scenario) Plan(n int, seed int64) ([]Conversation, error) {
 	times := ArrivalTimes(proc, n, rng)
 	convs := make([]Conversation, n)
 	for i := range convs {
-		ds := s.pick(rng)
+		ds := s.pick(rng).Dataset
 		turns := mt.MinTurns + rng.Intn(mt.MaxTurns-mt.MinTurns+1)
 		c := Conversation{ID: i, Arrival: times[i], Turns: make([]Turn, turns)}
 		for k := range c.Turns {
@@ -214,6 +219,7 @@ const (
 	ScenarioDiurnalMixed  = "diurnal-mixed"
 	ScenarioChatMultiTurn = "chat-multiturn"
 	ScenarioLongCtxHeavy  = "longctx-heavy"
+	ScenarioTieredDiurnal = "tiered-diurnal"
 )
 
 // Scenarios returns the registry: every named scenario, in presentation
@@ -268,6 +274,17 @@ func Scenarios() []Scenario {
 			Description: "low-rate stream of multi-thousand-token-context requests — KV footprint and attention bandwidth dominate",
 			Mix:         []WeightedDataset{{Dataset: LongContext(), Weight: 1}},
 			NewArrivals: func() ArrivalProcess { return NewPoisson(4) },
+		},
+		{
+			Name:        ScenarioTieredDiurnal,
+			Description: "day-curve traffic split into priority tiers: interactive qa rides the peak while preemptible batch creative work fills the trough",
+			Mix: []WeightedDataset{
+				{Dataset: GeneralQA(), Weight: 0.65, Class: ClassInteractive},
+				{Dataset: CreativeWriting(), Weight: 0.35, Class: ClassBatch},
+			},
+			NewArrivals: func() ArrivalProcess {
+				return NewDiurnal(12, 0.8, units.Seconds(20))
+			},
 		},
 	}
 }

@@ -16,6 +16,9 @@ type TraceRequest struct {
 	InputLen  int     `json:"input"`
 	OutputLen int     `json:"output"`
 	Arrival   float64 `json:"arrival_s"`
+	// Class mirrors Request.Class as its display name; omitted for
+	// interactive (the default), so pre-class traces round-trip byte-stably.
+	Class string `json:"class,omitempty"`
 	// Conversation and Turn mirror Request.Conversation/Turn: Turn is
 	// 1-based within a closed-loop conversation, 0 (omitted) for open-loop
 	// requests.
@@ -46,11 +49,16 @@ func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
 		if arr < 0 {
 			arr = 0
 		}
+		class := ""
+		if r.Class != ClassInteractive {
+			class = r.Class.String()
+		}
 		t.Requests[i] = TraceRequest{
 			ID:           r.ID,
 			InputLen:     r.InputLen,
 			OutputLen:    r.OutputLen,
 			Arrival:      arr,
+			Class:        class,
 			Conversation: r.Conversation,
 			Turn:         r.Turn,
 		}
@@ -58,15 +66,26 @@ func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
 	return t
 }
 
-// Workload converts the trace back into a runnable request stream.
+// Workload converts the trace back into a runnable request stream. An
+// unknown class name is a programming error and panics: ImportTrace
+// validates classes, so only a hand-built Trace can carry one, and mapping
+// it silently to a default would hand a typo top priority.
 func (t Trace) Workload() []Request {
 	reqs := make([]Request, len(t.Requests))
 	for i, r := range t.Requests {
+		class := ClassInteractive
+		if r.Class != "" {
+			var err error
+			if class, err = ClassByName(r.Class); err != nil {
+				panic(fmt.Sprintf("workload: trace %q request %d: %v", t.Name, r.ID, err))
+			}
+		}
 		reqs[i] = Request{
 			ID:           r.ID,
 			InputLen:     r.InputLen,
 			OutputLen:    r.OutputLen,
 			Arrival:      units.Seconds(r.Arrival),
+			Class:        class,
 			Conversation: r.Conversation,
 			Turn:         r.Turn,
 		}
@@ -122,6 +141,11 @@ func (t Trace) validate() error {
 			return fmt.Errorf("workload: trace %q has duplicate request ID %d", t.Name, r.ID)
 		}
 		seen[r.ID] = true
+		if r.Class != "" {
+			if _, err := ClassByName(r.Class); err != nil {
+				return fmt.Errorf("workload: trace %q request %d: %w", t.Name, r.ID, err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip feeds arbitrary bytes through ImportTrace: whatever it
+// accepts must re-export byte-identically (the byte-stability contract) and
+// must convert to a runnable stream whose length matches. The corpus seeds
+// with real exports, including class-tagged and multi-turn requests.
+func FuzzTraceRoundTrip(f *testing.F) {
+	seedReqs := [][]Request{
+		{{ID: 0, InputLen: 10, OutputLen: 5}},
+		{{ID: 0, InputLen: 10, OutputLen: 5, Arrival: 0.5, Class: ClassBatch},
+			{ID: 1, InputLen: 7, OutputLen: 3, Arrival: 1.25}},
+		{{ID: 3, InputLen: 64, OutputLen: 128, Conversation: 1, Turn: 2}},
+	}
+	for _, reqs := range seedReqs {
+		data, err := NewTrace("seed", "steady-qa", 1, reqs).Export()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ImportTrace(data)
+		if err != nil {
+			return // rejected input: nothing more to hold
+		}
+		out, err := tr.Export()
+		if err != nil {
+			t.Fatalf("accepted trace failed to export: %v", err)
+		}
+		tr2, err := ImportTrace(out)
+		if err != nil {
+			t.Fatalf("exported trace failed to re-import: %v", err)
+		}
+		out2, err := tr2.Export()
+		if err != nil {
+			t.Fatalf("re-imported trace failed to export: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("export is not byte-stable:\n first: %s\nsecond: %s", out, out2)
+		}
+		if got := len(tr.Workload()); got != len(tr.Requests) {
+			t.Fatalf("workload has %d requests, trace %d", got, len(tr.Requests))
+		}
+	})
+}

@@ -27,12 +27,51 @@ import (
 	"github.com/papi-sim/papi/internal/units"
 )
 
+// Class is a request's priority class. Interactive traffic is latency-bound
+// (a user is watching tokens stream); batch traffic is throughput work
+// (offline summarisation, evals, bulk generation) that tolerates queueing
+// and — under KV pressure — preemption. The zero value is interactive, so
+// every pre-class request stream keeps its behaviour.
+type Class int
+
+// Priority classes, highest first.
+const (
+	ClassInteractive Class = iota
+	ClassBatch
+)
+
+// String names the class as the CLIs and traces spell it.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassByName resolves a priority class by its display name.
+func ClassByName(name string) (Class, error) {
+	switch name {
+	case "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	}
+	return 0, fmt.Errorf("workload: unknown priority class %q", name)
+}
+
 // Request is one inference request.
 type Request struct {
 	ID        int
 	InputLen  int           // prompt tokens
 	OutputLen int           // tokens the model will generate (incl. <|eos|>)
 	Arrival   units.Seconds // arrival time for continuous-batching scenarios
+	// Class is the request's priority class: interactive requests are
+	// admitted ahead of blocked batch traffic and may preempt it under KV
+	// pressure (see serving's admission). Zero value: interactive.
+	Class Class
 	// Conversation and Turn tie a closed-loop request back to its
 	// multi-turn conversation: Turn is 1-based within the conversation, and
 	// Turn = 0 marks an open-loop request (Conversation is then
@@ -147,6 +186,29 @@ func (d Dataset) Poisson(n int, ratePerSec float64, seed int64) []Request {
 			InputLen:  d.Input.Sample(rng),
 			OutputLen: d.Output.Sample(rng),
 			Arrival:   units.Seconds(t),
+		}
+	}
+	return reqs
+}
+
+// AssignClasses deterministically tags a fraction of the stream as
+// batch-class (the rest stays interactive), in place, and returns the
+// stream. It seeds its own rng so the tagging is independent of how the
+// lengths and arrivals were drawn: the same stream and seed always yield the
+// same tiering. batchFraction is clamped to [0, 1].
+func AssignClasses(reqs []Request, batchFraction float64, seed int64) []Request {
+	if batchFraction <= 0 {
+		return reqs
+	}
+	if batchFraction > 1 {
+		batchFraction = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range reqs {
+		if rng.Float64() < batchFraction {
+			reqs[i].Class = ClassBatch
+		} else {
+			reqs[i].Class = ClassInteractive
 		}
 	}
 	return reqs

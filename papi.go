@@ -13,7 +13,10 @@
 //     workload regimes (steady, bursty, diurnal, closed-loop multi-turn,
 //     long-context) and byte-stable trace export/replay;
 //   - the serving engine (static and mixed continuous batching, speculative
-//     decoding) with full time and energy accounting;
+//     decoding) with full time and energy accounting, priority-class
+//     admission and batch preemption;
+//   - fleet-level cluster serving with routers and SLO-driven elastic
+//     autoscaling (warm-up, graceful drain, replica-seconds accounting);
 //   - every figure reproduction from the paper's evaluation section.
 //
 // Quick start:
@@ -113,6 +116,26 @@ func LongContext() Dataset { return workload.LongContext() }
 
 // DatasetByName resolves a dataset by name.
 func DatasetByName(name string) (Dataset, error) { return workload.ByName(name) }
+
+// Class is a request's priority class: interactive traffic is admitted ahead
+// of batch work and may preempt it under KV pressure.
+type Class = workload.Class
+
+// Priority classes, highest first.
+const (
+	ClassInteractive = workload.ClassInteractive
+	ClassBatch       = workload.ClassBatch
+)
+
+// ClassByName resolves a priority class by display name ("interactive",
+// "batch").
+func ClassByName(name string) (Class, error) { return workload.ClassByName(name) }
+
+// AssignClasses deterministically tags a fraction of a request stream as
+// batch-class, in place.
+func AssignClasses(reqs []Request, batchFraction float64, seed int64) []Request {
+	return workload.AssignClasses(reqs, batchFraction, seed)
+}
 
 // Scenario engine: arrival processes × length mixes, saved traces, and the
 // named-scenario registry (see docs/SCENARIOS.md).
@@ -240,6 +263,41 @@ func KVHeadroom() Router { return cluster.KVHeadroom() }
 // RouterByName resolves a routing policy by display name ("round-robin",
 // "least-outstanding", "kv-headroom").
 func RouterByName(name string) (Router, error) { return cluster.RouterByName(name) }
+
+// Elastic serving (SLO-driven fleet autoscaling).
+
+// AutoscaleOptions configures the elastic control loop: replica bounds,
+// control period, warm-up/cool-down latencies, the defended SLO, and the
+// windowed signal thresholds (queue depth, p95 TPOT, KV pressure, arrival
+// rate).
+type AutoscaleOptions = cluster.AutoscaleOptions
+
+// ScaleEvent is one elastic transition with the windowed signals that drove
+// it.
+type ScaleEvent = cluster.ScaleEvent
+
+// ScaleAction names an elastic transition kind.
+type ScaleAction = cluster.ScaleAction
+
+// Elastic transitions, in lifecycle order.
+const (
+	ScaleUp    = cluster.ScaleUp
+	ScaleLive  = cluster.ScaleLive
+	ScaleDrain = cluster.ScaleDrain
+	ScaleStop  = cluster.ScaleStop
+)
+
+// DefaultAutoscale returns a ready-to-use elastic configuration for the
+// given fleet bounds and interactive TPOT SLO.
+func DefaultAutoscale(min, max int, slo SLO) *AutoscaleOptions {
+	return cluster.DefaultAutoscale(min, max, slo)
+}
+
+// SLOAttainmentClass scores one priority class of a request set against the
+// per-token SLO (1 when the class is absent).
+func SLOAttainmentClass(reqs []RequestMetrics, slo SLO, class Class) float64 {
+	return serving.SLOAttainmentClass(reqs, slo, class)
+}
 
 // Placement identifies where an FC kernel runs.
 type Placement = sched.Placement
