@@ -3,6 +3,9 @@
 //
 //	papibench                      # all figures and ablations
 //	papibench -figure 8            # one figure
+//	papibench -figure dse          # the design-space exploration grid
+//	papibench -list-designs        # the named hardware designs
+//	papibench -design PAPI         # inspect one design (name or spec .json)
 //	papibench -fastpath=off        # force the reference decode path
 //	papibench -cpuprofile cpu.out  # write a pprof CPU profile
 //	papibench -memprofile mem.out  # write a pprof heap profile
@@ -15,12 +18,15 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/experiments"
 	"github.com/papi-sim/papi/internal/serving"
 )
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse)")
+	designArg := flag.String("design", "", "inspect one hardware design (registry name or spec .json file): validate, print its spec and derived capacities, then exit")
+	listDesigns := flag.Bool("list-designs", false, "list the named hardware designs in the registry and exit")
 	fastpath := flag.String("fastpath", "on", "decode-loop fast path: on (memoized cost tables + macro-stepping) or off (reference path); both produce byte-identical output")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -28,13 +34,46 @@ func main() {
 
 	// run's defers terminate the CPU profile before the process exits on
 	// any error path, so a failed run never leaves a truncated profile.
-	if err := run(*which, *fastpath, *cpuprofile, *memprofile); err != nil {
+	if err := run(*which, *designArg, *listDesigns, *fastpath, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "papibench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, fastpath, cpuprofile, memprofile string) error {
+// printDesigns lists the registry.
+func printDesigns() {
+	for _, spec := range design.Registry() {
+		fmt.Printf("%-14s %s\n", spec.Name, spec.Description)
+	}
+}
+
+// inspectDesign resolves a design argument (registry name or spec file),
+// builds it, and prints the spec alongside the derived hardware quantities.
+func inspectDesign(arg string) error {
+	spec, err := design.Resolve(arg)
+	if err != nil {
+		return err
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	data, err := spec.Export()
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	fmt.Printf("weight capacity %v · KV capacity %v · attention pool %d × %s (%v stream)\n",
+		sys.WeightCapacity(), sys.KVCapacity(),
+		sys.AttnPIM.Count, sys.AttnPIM.Stack.Config, sys.AttnPIM.StreamBW())
+	fmt.Printf("attention fabric %s (%v) · policy %s · prefill on GPU: %v\n",
+		sys.AttnLink.Name, sys.AttnLink.BW, sys.Policy.Name(), sys.PrefillOnGPU)
+	return nil
+}
+
+func run(which, designArg string, listDesigns bool, fastpath, cpuprofile, memprofile string) error {
+	// Validated up front so a typo never goes silently unused, whichever
+	// mode runs.
 	switch fastpath {
 	case "on", "true", "1":
 		serving.SetDefaultFastPath(true)
@@ -42,6 +81,22 @@ func run(which, fastpath, cpuprofile, memprofile string) error {
 		serving.SetDefaultFastPath(false)
 	default:
 		return fmt.Errorf("-fastpath must be on or off, got %q", fastpath)
+	}
+
+	if listDesigns || designArg != "" {
+		// Inspection modes run no figures; any combined request they would
+		// silently drop is rejected instead.
+		if which != "" || cpuprofile != "" || memprofile != "" {
+			return fmt.Errorf("-design/-list-designs cannot be combined with -figure, -cpuprofile, or -memprofile")
+		}
+		if listDesigns && designArg != "" {
+			return fmt.Errorf("-design and -list-designs are mutually exclusive")
+		}
+		if listDesigns {
+			printDesigns()
+			return nil
+		}
+		return inspectDesign(designArg)
 	}
 
 	// Validate the figure selection before profiling starts.

@@ -1,15 +1,22 @@
 // Command papiserve runs fleet-level serving simulations: N replica engines
-// of one system design consume a request stream behind a routing policy,
-// reporting aggregate throughput, energy, tail latency percentiles, and SLO
-// attainment. The stream comes from a flat Poisson rate, a named workload
-// scenario (bursty, diurnal, closed-loop multi-turn, long-context), or a
-// previously saved trace; any run's realised arrivals can be exported as a
-// byte-stable trace for replay.
+// consume a request stream behind a routing policy, reporting aggregate
+// throughput, energy, tail latency percentiles, and SLO attainment. The
+// fleet's hardware comes from the named design registry or from declarative
+// spec files (-design takes names or .json paths; a comma-separated list
+// provisions a mixed-design fleet whose replicas target the list's design
+// ratio — repeat an entry to weight it). The
+// stream comes from a flat Poisson rate, a named workload scenario (bursty,
+// diurnal, closed-loop multi-turn, long-context), or a previously saved
+// trace; any run's realised arrivals can be exported as a byte-stable trace
+// for replay.
 //
 // Examples:
 //
 //	papiserve -design PAPI -replicas 4 -router least-outstanding -rate 40 -requests 128
 //	papiserve -design A100+AttAcc -replicas 2 -router kv-headroom -slo 12
+//	papiserve -design "PAPI,A100+AttAcc" -replicas 4 -rate 30
+//	papiserve -design examples/designs/papi-wide.json -replicas 2
+//	papiserve -list-designs
 //	papiserve -sweep 2,5,10,20,40,80 -replicas 2 -requests 64
 //	papiserve -scenario burst-creative -replicas 2 -requests 48
 //	papiserve -scenario chat-multiturn -save-trace chat.json
@@ -26,6 +33,7 @@ import (
 	"strings"
 
 	"github.com/papi-sim/papi/internal/cluster"
+	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/experiments"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/serving"
@@ -35,7 +43,8 @@ import (
 
 func main() {
 	var (
-		design    = flag.String("design", "PAPI", `system design: "PAPI", "A100+AttAcc", "A100+HBM-PIM", "AttAcc-only", "PIM-only PAPI"`)
+		designArg = flag.String("design", "PAPI", `fleet design(s): registry names ("PAPI", "A100+AttAcc", "A100+HBM-PIM", "AttAcc-only", "PIM-only PAPI") or spec .json files; a comma-separated list runs a mixed fleet`)
+		listDes   = flag.Bool("list-designs", false, "list the named designs in the registry and exit")
 		modelName = flag.String("model", "LLaMA-65B", `model: "OPT-30B", "LLaMA-65B", "GPT-3 66B", "GPT-3 175B"`)
 		dataset   = flag.String("dataset", "general-qa", `workload: "creative-writing", "general-qa", "long-context"`)
 		replicas  = flag.Int("replicas", 2, "replica engine count")
@@ -56,8 +65,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listDes {
+		for _, spec := range design.Registry() {
+			fmt.Printf("%-14s %s\n", spec.Name, spec.Description)
+		}
+		return
+	}
+
 	if err := run(options{
-		design: *design, modelName: *modelName, dataset: *dataset,
+		design: *designArg, modelName: *modelName, dataset: *dataset,
 		routerName: *router, sweep: *sweep, scenario: *scenario,
 		traceIn: *traceIn, traceOut: *traceOut, autoscale: *autoscale,
 		replicas: *replicas, requests: *requests, maxBatch: *maxBatch,
@@ -92,6 +108,11 @@ func run(o options) error {
 		if o.scenario != "" || o.traceIn != "" || o.traceOut != "" || o.autoscale != "" || o.classes != 0 {
 			return fmt.Errorf("-sweep cannot be combined with -scenario, -trace, -save-trace, -autoscale, or -classes")
 		}
+		// The capacity sweep evaluates the fixed comparison set; silently
+		// ignoring a requested design would misattribute its results.
+		if o.design != "PAPI" {
+			return fmt.Errorf("-sweep evaluates the fixed design comparison set and cannot be combined with -design")
+		}
 		ds, err := workload.ByName(o.dataset)
 		if err != nil {
 			return err
@@ -124,9 +145,13 @@ func run(o options) error {
 		}
 		auto = cluster.DefaultAutoscale(min, max, slo)
 	}
+	specs, err := resolveDesigns(o.design)
+	if err != nil {
+		return err
+	}
 	opt := serving.DefaultOptions(o.spec)
 	opt.Seed = o.seed
-	c, err := cluster.NewByName(o.design, cfg, cluster.Options{
+	c, err := cluster.NewFromSpecs(specs, cfg, cluster.Options{
 		Replicas:  o.replicas,
 		MaxBatch:  o.maxBatch,
 		Router:    rt,
@@ -200,6 +225,13 @@ func run(o options) error {
 	fmt.Print(f)
 	if o.sloMS > 0 {
 		fmt.Printf("SLO attainment (TPOT ≤ %v): %.1f%%\n", slo.TokenLatency, 100*f.Attainment(slo))
+		for _, d := range f.PerDesign {
+			if d.Requests == 0 {
+				fmt.Printf("  %-14s n/a (served no requests)\n", d.Design)
+				continue
+			}
+			fmt.Printf("  %-14s %.1f%%\n", d.Design, 100*d.Attainment(slo))
+		}
 	}
 	if o.traceOut != "" {
 		tr := workload.NewTrace(traceName, traceScenario, o.seed, f.Stream)
@@ -213,6 +245,24 @@ func run(o options) error {
 		fmt.Printf("saved %d realised arrivals to %s\n", len(tr.Requests), o.traceOut)
 	}
 	return nil
+}
+
+// resolveDesigns turns the -design argument into the fleet's design list:
+// comma-separated registry names and/or spec .json files.
+func resolveDesigns(arg string) ([]design.Spec, error) {
+	var specs []design.Spec
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("-design has an empty entry in %q", arg)
+		}
+		spec, err := design.Resolve(part)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 func parseBounds(s string) (min, max int, err error) {

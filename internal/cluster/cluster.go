@@ -19,14 +19,25 @@
 // previous answer completes and carries the grown context back to the same
 // replica. Both produce a FleetResult whose Stream field records the
 // realised arrivals for byte-stable trace export.
+//
+// Fleets need not be homogeneous: NewFromSpecs takes a list of declarative
+// design specs and provisions replicas toward the list's design ratio (a
+// repeated entry weights its design), so a PAPI+baseline mixed fleet is one
+// argument away and elastic fleets keep the mix as they grow. Each distinct
+// design keeps its own kernel-pricing cost table (pricing is
+// hardware-specific), and FleetResult splits the fleet metrics per design
+// in PerDesign.
 package cluster
 
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
+	"strings"
 
 	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/serving"
 	"github.com/papi-sim/papi/internal/sim"
@@ -112,6 +123,10 @@ func (s replicaState) String() string {
 type Replica struct {
 	ID int
 
+	// design is the display name of the hardware design this replica runs
+	// (replicas of a mixed fleet differ).
+	design string
+
 	engine  *serving.Engine
 	stepper *serving.Stepper
 
@@ -152,18 +167,32 @@ func (r *Replica) KVHeadroom() units.Bytes {
 // Now reports the replica's engine-local clock.
 func (r *Replica) Now() units.Seconds { return r.stepper.Now() }
 
+// Design names the hardware design this replica runs.
+func (r *Replica) Design() string { return r.design }
+
 // Routed counts the requests the router sent here.
 func (r *Replica) Routed() int { return r.routed }
+
+// blueprint is one replica design the fleet cycles through: the design's
+// display name, a fresh-system factory (each replica owns its instance),
+// and the kernel-pricing table its replicas share. Pricing is
+// hardware-specific, so a mixed fleet keeps one table per design rather
+// than one per fleet.
+type blueprint struct {
+	name   string
+	newSys func() (*core.System, error)
+	costs  *serving.CostTable
+}
 
 // Cluster is a single-use fleet simulation: build, Run once, read the
 // FleetResult. (Routers and replicas carry per-run state, so reuse would
 // silently leak one run's state into the next.)
 type Cluster struct {
-	sysName string
-	newSys  func() *core.System
-	cfg     model.Config
-	opt     Options
-	ran     bool
+	sysName    string
+	blueprints []blueprint
+	cfg        model.Config
+	opt        Options
+	ran        bool
 }
 
 // New validates and builds a cluster of identical replicas. newSys is
@@ -172,29 +201,130 @@ func New(newSys func() *core.System, cfg model.Config, opt Options) (*Cluster, e
 	if newSys == nil {
 		return nil, fmt.Errorf("cluster: nil system factory")
 	}
+	return newCluster([]func() (*core.System, error){func() (*core.System, error) {
+		sys := newSys()
+		if sys == nil {
+			return nil, fmt.Errorf("cluster: system factory returned nil")
+		}
+		return sys, nil
+	}}, cfg, opt)
+}
+
+// NewFromSpecs validates and builds a fleet from declarative design specs:
+// one spec provisions a homogeneous fleet, several a mixed one whose
+// replicas target the list's design ratio (a repeated entry weights its
+// design — see nextBlueprint; elastic fleets restore the ratio as they
+// grow after drains). Each distinct design keeps its own kernel-pricing
+// table, so Serving.Costs must be nil when more than one spec is given.
+// The *initial* fleet must provision every listed spec (Replicas ≥
+// len(specs)); otherwise a design could silently never run while still
+// appearing zero-filled in the per-design metrics.
+func NewFromSpecs(specs []design.Spec, cfg model.Config, opt Options) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no design specs")
+	}
+	if opt.Replicas < len(specs) {
+		return nil, fmt.Errorf("cluster: %d design specs cannot all be provisioned on %d initial replicas",
+			len(specs), opt.Replicas)
+	}
+	// Snapshot each spec through its byte-stable encoding: Spec's pointer
+	// fields alias the caller's values, and replicas are built lazily (at
+	// Run and at autoscale scale-ups), so without a snapshot the caller
+	// could mutate a design after construction, bypassing the up-front
+	// validation and the same-name conflict guard.
+	factories := make([]func() (*core.System, error), len(specs))
+	for i, spec := range specs {
+		data, err := spec.Export()
+		if err != nil {
+			return nil, err
+		}
+		snap, err := design.ImportSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		factories[i] = snap.Build
+	}
+	return newCluster(factories, cfg, opt)
+}
+
+// NewByName builds a cluster of the named system design.
+func NewByName(name string, cfg model.Config, opt Options) (*Cluster, error) {
+	spec, err := design.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSpecs([]design.Spec{spec}, cfg, opt)
+}
+
+// newCluster probes every blueprint factory once (building a throwaway
+// engine validates each distinct design/model/options combination up
+// front) and assigns one cost table per distinct design: replicas of the
+// same design share their table even when the design appears several times
+// in the blueprint list (a "PAPI,PAPI,A100+AttAcc" ratio list keeps one
+// PAPI table). The per-design metrics split keys on the display name, so
+// two *different* designs sharing a name are rejected here rather than
+// silently merged.
+func newCluster(factories []func() (*core.System, error), cfg model.Config, opt Options) (*Cluster, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if opt.Router == nil {
 		opt.Router = RoundRobin()
 	}
-	probe := newSys()
-	if probe == nil {
-		return nil, fmt.Errorf("cluster: system factory returned nil")
+	probes := make([]*core.System, len(factories))
+	firstByName := map[string]*core.System{}
+	var names []string
+	for i, factory := range factories {
+		probe, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		if probe == nil {
+			return nil, fmt.Errorf("cluster: system factory returned nil")
+		}
+		if prior, ok := firstByName[probe.Name]; ok {
+			if !reflect.DeepEqual(probe, prior) {
+				return nil, fmt.Errorf("cluster: two different designs share the name %q; rename one so the per-design split stays meaningful", probe.Name)
+			}
+		} else {
+			firstByName[probe.Name] = probe
+			names = append(names, probe.Name)
+		}
+		probes[i] = probe
 	}
-	// Validate the replica blueprint once, up front, with a throwaway engine.
-	if _, err := serving.New(probe, cfg, opt.Serving); err != nil {
-		return nil, err
+	if opt.Serving.Costs != nil && len(names) > 1 {
+		return nil, fmt.Errorf("cluster: a caller-shared cost table cannot price a mixed-design fleet; leave Serving.Costs nil")
 	}
-	return &Cluster{sysName: probe.Name, newSys: newSys, cfg: cfg, opt: opt}, nil
+	tables := map[string]*serving.CostTable{}
+	for _, name := range names {
+		costs := opt.Serving.Costs
+		if costs == nil {
+			costs = serving.NewCostTable()
+		}
+		bopt := opt.Serving
+		bopt.Costs = costs
+		if _, err := serving.New(firstByName[name], cfg, bopt); err != nil {
+			return nil, err
+		}
+		tables[name] = costs
+	}
+	c := &Cluster{cfg: cfg, opt: opt, sysName: strings.Join(names, " + ")}
+	for i, factory := range factories {
+		c.blueprints = append(c.blueprints, blueprint{
+			name: probes[i].Name, newSys: factory, costs: tables[probes[i].Name]})
+	}
+	return c, nil
 }
 
-// NewByName builds a cluster of the named system design.
-func NewByName(design string, cfg model.Config, opt Options) (*Cluster, error) {
-	if _, err := core.ByName(design); err != nil {
-		return nil, err
+// mixed reports whether the fleet cycles through more than one distinct
+// design.
+func (c *Cluster) mixed() bool {
+	for _, bp := range c.blueprints[1:] {
+		if bp.name != c.blueprints[0].name {
+			return true
+		}
 	}
-	return New(func() *core.System { sys, _ := core.ByName(design); return sys }, cfg, opt)
+	return false
 }
 
 // fleetRun is the live state of one cluster simulation: the replicas, the
@@ -204,7 +334,6 @@ type fleetRun struct {
 	c      *Cluster
 	reps   []*Replica
 	kernel *sim.Engine
-	costs  *serving.CostTable
 	err    error
 	// eligible caches the replicas currently taking traffic (state active);
 	// rebuilt on the rare lifecycle transitions rather than per arrival.
@@ -231,15 +360,12 @@ type fleetRun struct {
 	horizon func() units.Seconds
 }
 
-// newFleetRun builds the replica engines and the event kernel. All replicas
-// are identical, so they share one kernel-pricing cost table: each
-// (placement, parallelism) kernel is priced once for the whole fleet.
+// newFleetRun builds the replica engines and the event kernel. Replicas of
+// the same design share one kernel-pricing cost table (each (placement,
+// parallelism) kernel is priced once for the whole fleet); a mixed fleet
+// prices per design.
 func (c *Cluster) newFleetRun() (*fleetRun, error) {
-	costs := c.opt.Serving.Costs
-	if costs == nil {
-		costs = serving.NewCostTable()
-	}
-	r := &fleetRun{c: c, kernel: sim.New(), costs: costs,
+	r := &fleetRun{c: c, kernel: sim.New(),
 		nextTick: units.Seconds(math.Inf(1))}
 	for i := 0; i < c.opt.Replicas; i++ {
 		if _, err := r.addReplica(0, 0, repActive); err != nil {
@@ -263,15 +389,62 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 	return r, nil
 }
 
-// addReplica builds one more replica engine on the shared cost table. A
-// warming replica powers on at bootAt (its clock starts there, so busy/idle
-// accounting — and host energy — covers only its powered-on span) and takes
-// traffic from liveAt; the caller schedules the activation event.
+// nextBlueprint picks the design to provision next: the design most
+// under-represented among the replicas that will take traffic (active and
+// warming), relative to the blueprint list's target ratio (largest
+// deficit; ties resolve in blueprint order, so the selection is
+// deterministic). Building a fleet from empty reproduces an interleaved
+// list order; for an elastic fleet this restores the design mix that
+// load-based drains erode — the autoscaler's victim choice ignores
+// designs, so without it repeated drain/grow cycles could eliminate one
+// design from the active fleet entirely.
+func (r *fleetRun) nextBlueprint() blueprint {
+	bps := r.c.blueprints
+	if len(bps) == 1 {
+		return bps[0]
+	}
+	target := make(map[string]int, len(bps))
+	for _, bp := range bps {
+		target[bp.name]++
+	}
+	have := map[string]int{}
+	inService := 0
+	for _, rep := range r.reps {
+		if rep.state == repActive || rep.state == repWarming {
+			have[rep.design]++
+			inService++
+		}
+	}
+	best, bestDeficit := bps[0], math.Inf(-1)
+	seen := map[string]bool{}
+	for _, bp := range bps {
+		if seen[bp.name] {
+			continue
+		}
+		seen[bp.name] = true
+		share := float64(target[bp.name]) / float64(len(bps))
+		if deficit := share*float64(inService+1) - float64(have[bp.name]); deficit > bestDeficit {
+			best, bestDeficit = bp, deficit
+		}
+	}
+	return best
+}
+
+// addReplica builds one more replica engine on its blueprint's cost table
+// (blueprint choice: see nextBlueprint). A warming replica powers on at
+// bootAt (its clock starts there, so busy/idle accounting — and host
+// energy — covers only its powered-on span) and takes traffic from liveAt;
+// the caller schedules the activation event.
 func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) (*Replica, error) {
+	bp := r.nextBlueprint()
 	opt := r.c.opt.Serving
 	opt.Seed += int64(len(r.reps))
-	opt.Costs = r.costs
-	eng, err := serving.New(r.c.newSys(), r.c.cfg, opt)
+	opt.Costs = bp.costs
+	sys, err := bp.newSys()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serving.New(sys, r.c.cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +457,7 @@ func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) 
 			return nil, err
 		}
 	}
-	rep := &Replica{ID: len(r.reps), engine: eng, stepper: st,
+	rep := &Replica{ID: len(r.reps), design: bp.name, engine: eng, stepper: st,
 		state: state, bootAt: bootAt, liveAt: liveAt}
 	r.reps = append(r.reps, rep)
 	return rep, nil

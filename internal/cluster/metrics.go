@@ -61,6 +61,12 @@ type FleetResult struct {
 	// ScaleEvents is the elastic audit trail (nil for static fleets).
 	ScaleEvents []ScaleEvent
 
+	// PerDesign splits the fleet metrics by hardware design, in blueprint
+	// order — the comparison a mixed-design fleet exists to make. Nil for
+	// homogeneous fleets (PerDesign != nil is the "this fleet was mixed"
+	// marker, like ScaleEvents for elasticity).
+	PerDesign []DesignMetrics
+
 	// TTFT and TPOT digest the request latency distributions (seconds).
 	// TPOT summarises multi-token requests only: single-token requests have
 	// no inter-token cadence (their TPOT is 0 by definition).
@@ -70,6 +76,34 @@ type FleetResult struct {
 	TPOT            stats.Summary
 	InteractiveTPOT stats.Summary
 	BatchTPOT       stats.Summary
+}
+
+// DesignMetrics is one hardware design's share of a mixed fleet's run.
+type DesignMetrics struct {
+	// Design is the display name of the hardware design.
+	Design string
+	// Replicas counts the fleet slots that ran this design.
+	Replicas int
+	// Routed is how many requests the routers sent to this design's
+	// replicas; Requests how many completed there.
+	Routed   int
+	Requests int
+	// Tokens and Energy are this design's share of the fleet totals.
+	Tokens int
+	Energy units.Joules
+	// TTFT and TPOT digest this design's request latency distributions
+	// (TPOT over multi-token requests only, as in the fleet digest).
+	TTFT stats.Summary
+	TPOT stats.Summary
+
+	// metrics holds the per-request latencies served by this design, for
+	// Attainment.
+	metrics []serving.RequestMetrics
+}
+
+// Attainment scores the design's requests against a per-token SLO.
+func (d DesignMetrics) Attainment(slo workload.SLO) float64 {
+	return serving.SLOAttainment(d.metrics, slo)
 }
 
 // aggregate finalises every replica and folds the fleet metrics.
@@ -106,6 +140,25 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		f.ScaleEvents = append(make([]ScaleEvent, 0, len(r.scaler.events)), r.scaler.events...)
 	}
 
+	// A mixed fleet additionally splits the metrics per design, in blueprint
+	// order.
+	type designAcc struct {
+		dm    DesignMetrics
+		ttfts []float64
+		tpots []float64
+	}
+	var designOrder []*designAcc
+	byDesign := map[string]*designAcc{}
+	if r.c.mixed() {
+		for _, bp := range r.c.blueprints {
+			if byDesign[bp.name] == nil {
+				acc := &designAcc{dm: DesignMetrics{Design: bp.name}}
+				byDesign[bp.name] = acc
+				designOrder = append(designOrder, acc)
+			}
+		}
+	}
+
 	var ttfts, tpots, tpotsInteractive, tpotsBatch []float64
 	for _, rep := range r.reps {
 		res := rep.stepper.Finalize()
@@ -121,6 +174,13 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		if span := end - rep.bootAt; span > 0 {
 			f.ReplicaSeconds += span
 		}
+		acc := byDesign[rep.design]
+		if acc != nil {
+			acc.dm.Replicas++
+			acc.dm.Routed += rep.routed
+			acc.dm.Tokens += res.Tokens
+			acc.dm.Energy += res.Energy.Total()
+		}
 		for _, rm := range res.Requests {
 			f.Requests = append(f.Requests, rm)
 			ttfts = append(ttfts, float64(rm.TTFT))
@@ -132,7 +192,20 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 					tpotsInteractive = append(tpotsInteractive, float64(rm.TPOT))
 				}
 			}
+			if acc != nil {
+				acc.dm.metrics = append(acc.dm.metrics, rm)
+				acc.ttfts = append(acc.ttfts, float64(rm.TTFT))
+				if rm.OutputTokens > 1 {
+					acc.tpots = append(acc.tpots, float64(rm.TPOT))
+				}
+			}
 		}
+	}
+	for _, acc := range designOrder {
+		acc.dm.Requests = len(acc.dm.metrics)
+		acc.dm.TTFT = stats.Summarize(acc.ttfts)
+		acc.dm.TPOT = stats.Summarize(acc.tpots)
+		f.PerDesign = append(f.PerDesign, acc.dm)
 	}
 	if len(f.Requests) != want {
 		return nil, fmt.Errorf("cluster: %d of %d requests completed", len(f.Requests), want)
@@ -222,6 +295,12 @@ func (f *FleetResult) String() string {
 		}
 		out += fmt.Sprintf("autoscale: peak %d replicas · %v replica-seconds · %d scale-ups / %d drains\n",
 			f.PeakReplicas, f.ReplicaSeconds, ups, drains)
+	}
+	for _, d := range f.PerDesign {
+		out += fmt.Sprintf("design %-14s %d replicas · routed %d · %d reqs · %d tokens · %v · "+
+			"TTFT p95 %v · TPOT p95 %v\n",
+			d.Design, d.Replicas, d.Routed, d.Requests, d.Tokens, d.Energy,
+			units.Seconds(d.TTFT.P95), units.Seconds(d.TPOT.P95))
 	}
 	return out
 }

@@ -3,170 +3,73 @@
 // scheduler) and the three comparison points (A100+AttAcc, A100+HBM-PIM,
 // AttAcc-only), plus the PIM-only PAPI variant of §7.4.
 //
-// Every system has 90 HBM devices for fairness (§7.1): 30 holding the FC
-// weights and 60 for attention/KV. What differs is which devices can compute,
-// how fast, and who decides where FC runs.
+// The canonical definition of each system now lives in internal/design as a
+// declarative, serializable Spec; this package re-exports the System type
+// and keeps the legacy constructors as thin wrappers over the registry
+// specs, so the five evaluated systems remain one function call away while
+// every other point in the design space is a design.Spec (or a JSON file)
+// away.
 package core
 
 import (
-	"fmt"
-
-	"github.com/papi-sim/papi/internal/gpu"
+	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/hbm"
-	"github.com/papi-sim/papi/internal/interconnect"
-	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
-	"github.com/papi-sim/papi/internal/sched"
-	"github.com/papi-sim/papi/internal/units"
 )
+
+// System is one complete evaluated design (see design.System; the alias
+// keeps the simulator's long-standing import surface intact).
+type System = design.System
 
 // Device counts of §7.1.
 const (
-	WeightDevices = 30 // HBM stacks holding FC weight parameters
-	AttnDevices   = 60 // HBM stacks holding KV caches / running attention
+	WeightDevices = design.WeightDevices // HBM stacks holding FC weight parameters
+	AttnDevices   = design.AttnDevices   // HBM stacks holding KV caches / running attention
 )
-
-// AttentionSpecializedPool builds a pool of attention-specialised PIM
-// devices (AttAcc, HBM-PIM): no FC weight-reuse datapath, so FC work on them
-// re-streams weights per token, and their score·V reduction trees reach only
-// ~half utilisation on weight-stationary GEMV (§6.1 — the missing datapath
-// is exactly what FC-PIM adds).
-func AttentionSpecializedPool(stack hbm.Stack, count int) *pim.Device {
-	d := pim.New(stack, count)
-	d.FCWeightReuse = false
-	d.FCComputeEff = 0.5
-	return d
-}
 
 // DefaultAlpha is the calibrated memory-boundedness threshold for the
 // default PAPI system (see sched.Calibrate; the offline procedure of §5.2.1
 // lands here for all three evaluation models).
-const DefaultAlpha = 28
+const DefaultAlpha = design.DefaultAlpha
 
-// System is one complete evaluated design.
-type System struct {
-	Name string
+// AttentionSpecializedPool builds a pool of attention-specialised PIM
+// devices (AttAcc, HBM-PIM): no FC weight-reuse datapath, ~half FPU
+// utilisation on weight-stationary GEMV (§6.1).
+func AttentionSpecializedPool(stack hbm.Stack, count int) *pim.Device {
+	return design.AttentionSpecializedPool(stack, count)
+}
 
-	// GPU is the high-performance processor's PU pool; nil for PIM-only
-	// systems (AttAcc-only, PIM-only PAPI).
-	GPU *gpu.Node
-
-	// FCPIM is the PIM pool that can execute FC kernels (the 30
-	// weight-holding stacks). Nil when FC can only run on the GPU
-	// (A100+AttAcc, A100+HBM-PIM: their weight stacks are plain HBM).
-	FCPIM *pim.Device
-
-	// AttnPIM is the attention pool (60 stacks). Always present: every
-	// evaluated design offloads attention to PIM.
-	AttnPIM *pim.Device
-
-	// AttnLink is the fabric to the disaggregated attention devices.
-	AttnLink interconnect.Link
-	// PULink is the fabric between PUs and the weight memory (NVLink); FC
-	// activations cross it when FC runs on FC-PIM.
-	PULink interconnect.Link
-
-	// Policy decides FC placement each iteration.
-	Policy sched.Policy
-
-	// PrefillOnGPU: the compute-bound prefill phase runs on the GPU in every
-	// heterogeneous design; PIM-only systems must run it on their PIM units
-	// (§7.4), which is the dominant cost of AttAcc-only end to end.
-	PrefillOnGPU bool
-
-	// HostPower is the host CPU's static draw, charged over wall-clock time.
-	HostPower units.Watts
+// mustBuild assembles a registry spec. The registry designs are pinned valid
+// by the design suite, so a failure here is a programming error, not input.
+func mustBuild(spec design.Spec) *System {
+	sys, err := spec.Build()
+	if err != nil {
+		panic("core: registry design failed to build: " + err.Error())
+	}
+	return sys
 }
 
 // NewPAPI returns the full PAPI system: 6 GPUs whose memory is 30 FC-PIM
 // stacks, 60 disaggregated Attn-PIM stacks behind CXL, and the dynamic
 // parallelism-aware scheduler with threshold alpha (0 means DefaultAlpha).
-func NewPAPI(alpha float64) *System {
-	if alpha <= 0 {
-		alpha = DefaultAlpha
-	}
-	link, _ := interconnect.AttnFabric(AttnDevices)
-	return &System{
-		Name:         "PAPI",
-		GPU:          gpu.DefaultNode(),
-		FCPIM:        pim.New(hbm.FCPIMStack(), WeightDevices),
-		AttnPIM:      AttentionSpecializedPool(hbm.HBMPIMStack(), AttnDevices),
-		AttnLink:     link,
-		PULink:       interconnect.NVLink3(),
-		Policy:       sched.Dynamic{Alpha: alpha},
-		PrefillOnGPU: true,
-		HostPower:    100,
-	}
-}
+func NewPAPI(alpha float64) *System { return mustBuild(design.PAPI(alpha)) }
 
 // NewA100AttAcc returns the state-of-the-art heterogeneous baseline [23]:
 // FC statically on 6 A100s (plain HBM weight stacks), attention on AttAcc
 // 1P1B PIM devices.
-func NewA100AttAcc() *System {
-	link, _ := interconnect.AttnFabric(AttnDevices)
-	return &System{
-		Name:         "A100+AttAcc",
-		GPU:          gpu.DefaultNode(),
-		FCPIM:        nil,
-		AttnPIM:      AttentionSpecializedPool(hbm.AttAccStack(), AttnDevices),
-		AttnLink:     link,
-		PULink:       interconnect.NVLink3(),
-		Policy:       sched.AlwaysPU(),
-		PrefillOnGPU: true,
-		HostPower:    100,
-	}
-}
+func NewA100AttAcc() *System { return mustBuild(design.A100AttAcc()) }
 
 // NewA100HBMPIM returns the A100 + Samsung HBM-PIM (1P2B) baseline [30].
-func NewA100HBMPIM() *System {
-	link, _ := interconnect.AttnFabric(AttnDevices)
-	return &System{
-		Name:         "A100+HBM-PIM",
-		GPU:          gpu.DefaultNode(),
-		FCPIM:        nil,
-		AttnPIM:      AttentionSpecializedPool(hbm.HBMPIMStack(), AttnDevices),
-		AttnLink:     link,
-		PULink:       interconnect.NVLink3(),
-		Policy:       sched.AlwaysPU(),
-		PrefillOnGPU: true,
-		HostPower:    100,
-	}
-}
+func NewA100HBMPIM() *System { return mustBuild(design.A100HBMPIM()) }
 
 // NewAttAccOnly returns the PIM-only baseline [23]: all FC and attention
 // kernels on AttAcc 1P1B devices, no GPU. Prefill also runs on PIM.
-func NewAttAccOnly() *System {
-	link, _ := interconnect.AttnFabric(AttnDevices)
-	return &System{
-		Name:         "AttAcc-only",
-		GPU:          nil,
-		FCPIM:        AttentionSpecializedPool(hbm.AttAccStack(), WeightDevices),
-		AttnPIM:      AttentionSpecializedPool(hbm.AttAccStack(), AttnDevices),
-		AttnLink:     link,
-		PULink:       interconnect.NVLink3(),
-		Policy:       sched.AlwaysPIM(),
-		PrefillOnGPU: false,
-		HostPower:    100,
-	}
-}
+func NewAttAccOnly() *System { return mustBuild(design.AttAccOnly()) }
 
 // NewPIMOnlyPAPI returns the §7.4 ablation: PAPI's hybrid PIM devices
 // (FC-PIM + Attn-PIM) with no GPU, against which AttAcc-only isolates the
 // benefit of the hybrid PIM design itself.
-func NewPIMOnlyPAPI() *System {
-	link, _ := interconnect.AttnFabric(AttnDevices)
-	return &System{
-		Name:         "PIM-only PAPI",
-		GPU:          nil,
-		FCPIM:        pim.New(hbm.FCPIMStack(), WeightDevices),
-		AttnPIM:      AttentionSpecializedPool(hbm.HBMPIMStack(), AttnDevices),
-		AttnLink:     link,
-		PULink:       interconnect.NVLink3(),
-		Policy:       sched.AlwaysPIM(),
-		PrefillOnGPU: false,
-		HostPower:    100,
-	}
-}
+func NewPIMOnlyPAPI() *System { return mustBuild(design.PIMOnlyPAPI()) }
 
 // Designs returns the four systems of Fig. 8 in presentation order.
 func Designs() []*System {
@@ -176,87 +79,13 @@ func Designs() []*System {
 // ByName builds a system by its display name ("PAPI", "A100+AttAcc",
 // "A100+HBM-PIM", "AttAcc-only", "PIM-only PAPI").
 func ByName(name string) (*System, error) {
-	switch name {
-	case "PAPI":
-		return NewPAPI(0), nil
-	case "A100+AttAcc":
-		return NewA100AttAcc(), nil
-	case "A100+HBM-PIM":
-		return NewA100HBMPIM(), nil
-	case "AttAcc-only":
-		return NewAttAccOnly(), nil
-	case "PIM-only PAPI":
-		return NewPIMOnlyPAPI(), nil
+	spec, err := design.ByName(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown design %q", name)
+	return spec.Build()
 }
 
-// Validate checks the system's structural invariants.
-func (s *System) Validate() error {
-	if s.GPU == nil && s.FCPIM == nil {
-		return fmt.Errorf("core: %s has no FC execution engine", s.Name)
-	}
-	if s.AttnPIM == nil {
-		return fmt.Errorf("core: %s has no attention engine", s.Name)
-	}
-	if s.GPU != nil {
-		if err := s.GPU.Validate(); err != nil {
-			return fmt.Errorf("core: %s: %w", s.Name, err)
-		}
-	}
-	if s.FCPIM != nil {
-		if err := s.FCPIM.Validate(); err != nil {
-			return fmt.Errorf("core: %s: %w", s.Name, err)
-		}
-	}
-	if err := s.AttnPIM.Validate(); err != nil {
-		return fmt.Errorf("core: %s: %w", s.Name, err)
-	}
-	if err := s.AttnLink.Validate(); err != nil {
-		return fmt.Errorf("core: %s: %w", s.Name, err)
-	}
-	if !s.AttnLink.SupportsDevices(s.AttnPIM.Count) {
-		return fmt.Errorf("core: %s: %s cannot address %d attention devices",
-			s.Name, s.AttnLink.Name, s.AttnPIM.Count)
-	}
-	if s.Policy == nil {
-		return fmt.Errorf("core: %s has no scheduling policy", s.Name)
-	}
-	if !s.PrefillOnGPU && s.GPU != nil {
-		return fmt.Errorf("core: %s has a GPU but runs prefill on PIM", s.Name)
-	}
-	return nil
-}
-
-// WeightCapacity returns the capacity of the weight-holding pool.
-func (s *System) WeightCapacity() units.Bytes {
-	if s.FCPIM != nil {
-		return s.FCPIM.Capacity()
-	}
-	// Plain HBM weight stacks (baselines): 30 × 16 GiB.
-	return units.Bytes(float64(WeightDevices) * float64(hbm.PlainStack().Capacity()))
-}
-
-// KVCapacity returns the attention pool's KV-cache capacity.
-func (s *System) KVCapacity() units.Bytes { return s.AttnPIM.Capacity() }
-
-// FitsModel checks that the model's weights fit the weight pool.
-func (s *System) FitsModel(cfg model.Config) error {
-	if w, c := cfg.WeightBytes(), s.WeightCapacity(); w > c {
-		return fmt.Errorf("core: %s: %s weights (%v) exceed weight capacity %v", s.Name, cfg.Name, w, c)
-	}
-	return nil
-}
-
-// MaxBatchForKV returns the largest batch whose KV caches fit the attention
-// pool when every request reaches seqLen (§3.2(b)'s memory-capacity limit).
-func (s *System) MaxBatchForKV(cfg model.Config, seqLen int) int {
-	per := float64(cfg.KVBytes(seqLen))
-	if per <= 0 {
-		return 0
-	}
-	return int(float64(s.KVCapacity()) / per)
-}
-
-// HasGPU reports whether the design includes processing units.
-func (s *System) HasGPU() bool { return s.GPU != nil }
+// Build assembles a System from a declarative design spec, validating both
+// the spec and the assembled hardware.
+func Build(spec design.Spec) (*System, error) { return spec.Build() }

@@ -1,0 +1,62 @@
+package design
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecRoundTrip feeds arbitrary bytes through ImportSpec: whatever it
+// accepts must re-export byte-identically (the byte-stability contract,
+// mirroring FuzzTraceRoundTrip), and — when the described hardware is
+// buildable — the assembled system must pass its own validation. The corpus
+// seeds with every registry design plus a customised spec exercising the
+// optional fields.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, spec := range Registry() {
+		data, err := spec.Export()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	custom := PAPI(13)
+	custom.Name = "custom"
+	custom.Description = "seeded corpus entry"
+	custom.AttnPIM = &PIMSpec{FPUs: 2, Banks: 1, BankStreamGBps: 3.2, Count: 40, FCComputeEff: 0.5}
+	custom.AttnLink = &LinkSpec{Name: "cxl-64", GBps: 64, LatencyUS: 2, PJPerByte: 10, MaxDevices: 4096}
+	custom.PULink = NVLink3Link()
+	data, err := custom.Export()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ImportSpec(data)
+		if err != nil {
+			return // rejected input: nothing more to hold
+		}
+		out, err := spec.Export()
+		if err != nil {
+			t.Fatalf("accepted spec failed to export: %v", err)
+		}
+		spec2, err := ImportSpec(out)
+		if err != nil {
+			t.Fatalf("exported spec failed to re-import: %v", err)
+		}
+		out2, err := spec2.Export()
+		if err != nil {
+			t.Fatalf("re-imported spec failed to export: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("export is not byte-stable:\n first: %s\nsecond: %s", out, out2)
+		}
+		// Building may legitimately fail (infeasible floorplans, power or
+		// fan-out violations), but a successful build must be self-consistent.
+		if sys, err := spec.Build(); err == nil {
+			if verr := sys.Validate(); verr != nil {
+				t.Fatalf("built system fails its own validation: %v", verr)
+			}
+		}
+	})
+}

@@ -34,6 +34,7 @@ func Figures() []Figure {
 		{"capacity", func() fmt.Stringer { return Capacity() }},
 		{"scenarios", func() fmt.Stringer { return Scenarios() }},
 		{"elasticity", func() fmt.Stringer { return Elasticity() }},
+		{"dse", func() fmt.Stringer { return DSE() }},
 	}
 }
 

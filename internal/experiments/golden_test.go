@@ -33,6 +33,7 @@ func goldenFigures() map[string]func() any {
 		"capacity":   func() any { return Capacity() },
 		"scenarios":  func() any { return Scenarios() },
 		"elasticity": func() any { return Elasticity() },
+		"dse":        func() any { return DSE() },
 	}
 }
 

@@ -7,7 +7,10 @@
 //
 //   - the evaluated computing systems: PAPI (GPU + hybrid FC-PIM/Attn-PIM +
 //     dynamic parallelism-aware scheduler) and the baselines A100+AttAcc,
-//     A100+HBM-PIM, AttAcc-only, and PIM-only PAPI;
+//     A100+HBM-PIM, AttAcc-only, and PIM-only PAPI — each a registry entry
+//     of the declarative design layer, which also admits arbitrary new
+//     designs as serializable specs (byte-stable JSON) and design-space
+//     exploration sweeps over them;
 //   - the evaluation LLMs (OPT-30B, LLaMA-65B, GPT-3 66B/175B) and the
 //     Dolly-like workload generators, plus the scenario engine: named
 //     workload regimes (steady, bursty, diurnal, closed-loop multi-turn,
@@ -33,6 +36,7 @@ import (
 
 	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
 	"github.com/papi-sim/papi/internal/sched"
@@ -72,6 +76,49 @@ func SystemByName(name string) (*System, error) { return core.ByName(name) }
 
 // DefaultAlpha is the calibrated scheduling threshold (§5.2.1).
 const DefaultAlpha = core.DefaultAlpha
+
+// Declarative hardware design layer (see docs/DESIGNS.md): every system is
+// described by a serializable spec — GPU node, PIM pools, links, policy —
+// with byte-stable JSON export/import, and the five evaluated systems are
+// registry entries pinned bit-identical to the constructors above.
+
+// DesignSpec is one complete hardware design, declaratively; DesignSpec.Build
+// assembles and validates the System it describes.
+type DesignSpec = design.Spec
+
+// GPUSpec describes a design's processing-unit pool.
+type GPUSpec = design.GPUSpec
+
+// PIMSpec describes one pool of PIM-enabled HBM stacks (xPyB organisation,
+// floorplan, bandwidth, FC datapath capabilities).
+type PIMSpec = design.PIMSpec
+
+// LinkSpec describes one interconnect class.
+type LinkSpec = design.LinkSpec
+
+// PolicySpec names a design's FC placement policy ("dynamic", "static-pu",
+// "static-pim").
+type PolicySpec = design.PolicySpec
+
+// NVLink3Link returns the GPU↔FC-PIM fabric preset as a spec.
+func NVLink3Link() *LinkSpec { return design.NVLink3Link() }
+
+// CXL2Link returns the CXL 2.0 attention-fabric preset as a spec — the
+// starting point for custom designs that only re-dimension bandwidth.
+func CXL2Link() *LinkSpec { return design.CXL2Link() }
+
+// DesignSpecs returns the design registry: every named design spec, in
+// presentation order.
+func DesignSpecs() []DesignSpec { return design.Registry() }
+
+// DesignNames lists the registered design names in presentation order.
+func DesignNames() []string { return design.Names() }
+
+// DesignByName resolves a registered design spec by display name.
+func DesignByName(name string) (DesignSpec, error) { return design.ByName(name) }
+
+// ImportDesignSpec parses and validates an exported design spec.
+func ImportDesignSpec(data []byte) (DesignSpec, error) { return design.ImportSpec(data) }
 
 // Models (§7.1).
 
@@ -246,9 +293,22 @@ func NewCluster(newSys func() *System, cfg Model, opt ClusterOptions) (*Cluster,
 }
 
 // NewClusterByName builds a fleet of the named system design.
-func NewClusterByName(design string, cfg Model, opt ClusterOptions) (*Cluster, error) {
-	return cluster.NewByName(design, cfg, opt)
+func NewClusterByName(name string, cfg Model, opt ClusterOptions) (*Cluster, error) {
+	return cluster.NewByName(name, cfg, opt)
 }
+
+// NewClusterFromSpecs builds a fleet from declarative design specs: several
+// specs provision a mixed-design fleet whose replicas are provisioned
+// toward the list's design ratio (repeat an entry to weight its design;
+// elastic fleets restore the ratio as they grow) and whose metrics
+// FleetResult splits per design. The initial Replicas must cover every
+// listed spec.
+func NewClusterFromSpecs(specs []DesignSpec, cfg Model, opt ClusterOptions) (*Cluster, error) {
+	return cluster.NewFromSpecs(specs, cfg, opt)
+}
+
+// FleetDesignMetrics is one design's share of a mixed fleet's run.
+type FleetDesignMetrics = cluster.DesignMetrics
 
 // RoundRobin cycles requests through the replicas in order.
 func RoundRobin() Router { return cluster.RoundRobin() }

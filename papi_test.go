@@ -1,6 +1,9 @@
 package papi
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -63,6 +66,104 @@ func TestFacadeConstructors(t *testing.T) {
 	}
 	if _, err := DatasetByName("general-qa"); err != nil {
 		t.Error(err)
+	}
+}
+
+// Every design spec file shipped under examples/ must import, build, and
+// be the byte-stable export of its own spec. README and docs/DESIGNS.md
+// quote these files in runnable commands, and the docs cross-check
+// deliberately skips file-path -design values — this is the drift net for
+// the files themselves (a renamed spec field or a stale regeneration fails
+// here, not in a reader's terminal).
+func TestShippedDesignSpecsResolve(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped design spec files found under examples/")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ImportDesignSpec(data)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if _, err := spec.Build(); err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		out, err := spec.Export()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if !bytes.Equal(out, data) {
+			t.Errorf("%s is not the byte-stable export of its own spec; regenerate it", path)
+		}
+	}
+}
+
+func TestDesignFacade(t *testing.T) {
+	names := DesignNames()
+	if len(names) != 5 || len(DesignSpecs()) != 5 {
+		t.Fatalf("design registry exposes %d names / %d specs, want 5", len(names), len(DesignSpecs()))
+	}
+	for _, name := range names {
+		spec, err := DesignByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := spec.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		imported, err := ImportDesignSpec(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := imported.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Name != name {
+			t.Errorf("built %q from spec %q", sys.Name, name)
+		}
+	}
+
+	// A mixed fleet through the facade: replicas cycle the spec list and
+	// the result splits per design.
+	papiSpec, err := DesignByName("PAPI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSpec, err := DesignByName("A100+AttAcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterFromSpecs([]DesignSpec{papiSpec, baseSpec}, LLaMA65B(), ClusterOptions{
+		Replicas: 2,
+		MaxBatch: 8,
+		Router:   LeastOutstanding(),
+		Serving:  DefaultOptions(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Run(GeneralQA().Poisson(12, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.PerDesign) != 2 {
+		t.Fatalf("mixed fleet split has %d designs, want 2", len(f.PerDesign))
+	}
+	var m FleetDesignMetrics = f.PerDesign[0]
+	if m.Design != "PAPI" || m.Replicas != 1 {
+		t.Fatalf("first design slice = %+v, want one PAPI replica", m)
 	}
 }
 
