@@ -138,7 +138,11 @@ func BenchmarkAblationHybridPIM(b *testing.B) {
 func BenchmarkAblationDynamicVsStatic(b *testing.B) {
 	var r experiments.DynamicVsStaticResult
 	for i := 0; i < b.N; i++ {
-		r = experiments.AblationDynamicVsStatic()
+		var err error
+		r, err = experiments.AblationDynamicVsStatic()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(r.StaticPUMS/r.DynamicMS, "vs-always-pu-x")
 	b.ReportMetric(r.StaticPIMMS/r.DynamicMS, "vs-always-pim-x")

@@ -123,7 +123,11 @@ func run(which, designArg string, listDesigns bool, fastpath, cpuprofile, mempro
 			continue
 		}
 		fmt.Printf("================ figure %s ================\n", f.ID)
-		fmt.Println(f.Run().String())
+		out, err := f.Run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.ID, err)
+		}
+		fmt.Println(out.String())
 	}
 
 	if memprofile != "" {

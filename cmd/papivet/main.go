@@ -1,0 +1,86 @@
+// Command papivet runs the repo's static-analysis suite (internal/analysis):
+// determinism, unitsafety, noalloc and facade — the compile-time form of the
+// simulator's bit-identical-determinism, dimensional-correctness and
+// zero-alloc-fast-path contracts.
+//
+//	papivet ./...              # analyze the whole module (exit 2 on findings)
+//	papivet -waivers ./...     # audit every //papivet: directive in the repo
+//	papivet ./internal/serving # analyze one package
+//
+// Each finding prints as file:line:col: analyzer: message. Findings are
+// waived in source with
+//
+//	//papivet:allow <analyzer> — justification
+//	//papivet:ordered — justification            (map-range findings only)
+//
+// and a justification is mandatory — papivet reports waivers that lack one.
+// See docs/ANALYSIS.md for the analyzer catalogue and waiver etiquette.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/papi-sim/papi/internal/analysis"
+)
+
+func main() {
+	waivers := flag.Bool("waivers", false, "list every //papivet: waiver and annotation in the analyzed packages, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: papivet [-waivers] [package patterns]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "papivet: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *waivers {
+		listWaivers(pkgs)
+		return
+	}
+
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "papivet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "papivet: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+// listWaivers prints the audit list: every directive, its kind, and its
+// justification, so reviewers can see at a glance what has been waived away.
+func listWaivers(pkgs []*analysis.Package) {
+	n := 0
+	for _, pkg := range pkgs {
+		for _, dir := range pkg.Dirs.All() {
+			n++
+			switch dir.Kind {
+			case analysis.KindAllow:
+				fmt.Printf("%s:%d: allow %s — %s\n", dir.Pos.Filename, dir.Pos.Line, dir.Analyzer, dir.Justification)
+			case analysis.KindOrdered:
+				fmt.Printf("%s:%d: ordered — %s\n", dir.Pos.Filename, dir.Pos.Line, dir.Justification)
+			case analysis.KindNoAlloc:
+				fmt.Printf("%s:%d: noalloc annotation\n", dir.Pos.Filename, dir.Pos.Line)
+			}
+		}
+	}
+	fmt.Printf("%d directive(s)\n", n)
+}

@@ -94,7 +94,7 @@ func TestDesignDocsMatchRegistry(t *testing.T) {
 // docs/ARCHITECTURE.md and docs/TESTING.md are the entry points; keep them
 // present and linked from the README (and TESTING from ARCHITECTURE).
 func TestDocsPresentAndLinked(t *testing.T) {
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Fatalf("%s missing: %v", doc, err)
 		}
@@ -103,7 +103,7 @@ func TestDocsPresentAndLinked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not link %s", want)
 		}
@@ -114,6 +114,13 @@ func TestDocsPresentAndLinked(t *testing.T) {
 	}
 	if !strings.Contains(string(arch), "TESTING.md") {
 		t.Error("docs/ARCHITECTURE.md does not link docs/TESTING.md")
+	}
+	testingDoc, err := os.ReadFile("docs/TESTING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(testingDoc), "ANALYSIS.md") {
+		t.Error("docs/TESTING.md does not link docs/ANALYSIS.md")
 	}
 }
 
@@ -127,6 +134,7 @@ var commandDocs = []string{
 	"docs/SCENARIOS.md",
 	"docs/PERFORMANCE.md",
 	"docs/TESTING.md",
+	"docs/ANALYSIS.md",
 }
 
 // Known flags per command, mirroring the flag definitions in
@@ -140,6 +148,7 @@ var commandFlags = map[string]map[string]bool{
 		"classes"),
 	"papibench": set("figure", "design", "list-designs", "fastpath",
 		"cpuprofile", "memprofile"),
+	"papivet": set("waivers"),
 }
 
 func set(names ...string) map[string]bool {

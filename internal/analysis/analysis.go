@@ -1,0 +1,186 @@
+// Package analysis is the static-analysis layer behind cmd/papivet: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the project-specific analyzers
+// that turn this repo's three load-bearing contracts into compile-time
+// properties:
+//
+//   - determinism: the simulation packages may not read wall-clock time,
+//     draw from the global math/rand stream, launch goroutines outside the
+//     blessed sweep runner, or iterate a map in an order-sensitive way;
+//   - unitsafety: internal/units quantities may not be laundered through raw
+//     float64 conversions to cross dimensions — typed helpers or audited
+//     waivers only;
+//   - noalloc: functions annotated //papivet:noalloc (the PR 3 fast-path
+//     set) may not contain allocating constructs;
+//   - facade: papi.go re-exports must originate in internal/ packages, and
+//     string literals passed to registry lookups (figures, scenarios,
+//     designs, datasets, routers, models) must name registered entries.
+//
+// The vendored framework exists because the container building this repo has
+// no module proxy access: the real golang.org/x/tools dependency cannot be
+// fetched, so the analyzers are written against this API-compatible shim and
+// driven by cmd/papivet instead of x/tools' multichecker. Type information
+// comes from the standard toolchain: the loader shells out to
+// `go list -deps -export -json`, parses the target packages with go/parser,
+// and type-checks them against the compiler's export data via go/importer.
+//
+// Analyzers see only non-test files (go list's GoFiles), matching the scope
+// of the invariants: tests are free to use wall clocks, raw casts, and
+// allocation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one static check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waivers
+	// (//papivet:allow <name> — justification).
+	Name string
+
+	// Doc is the one-paragraph description shown by papivet -help.
+	Doc string
+
+	// AppliesTo reports whether the analyzer wants to inspect the package
+	// with the given import path. A nil AppliesTo means every package.
+	AppliesTo func(pkgPath string) bool
+
+	// Run inspects one package, reporting findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos to file positions for every file in the package
+	// and its dependencies' export data.
+	Fset *token.FileSet
+
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+
+	// Dirs are the //papivet: directives of this package's files.
+	Dirs *Directives
+
+	// All is the whole-program view: every package loaded in this run, in
+	// deterministic (import path) order. Cross-package analyzers (facade)
+	// use it to read registry definitions; most analyzers ignore it.
+	All []*Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Category tags the finding kind within its analyzer; the ordered
+	// waiver applies only to determinism findings of category "maprange".
+	Category string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dirs  *Directives
+}
+
+// Run applies each analyzer to every loaded package it covers, suppresses
+// findings waived by //papivet: directives, and returns the survivors in
+// deterministic (position, analyzer) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dirs:      pkg.Dirs,
+				All:       pkgs,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	// Malformed directives are findings in their own right: a waiver that
+	// does not parse must fail loudly rather than silently not suppress.
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.Dirs.Malformed...)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzerName || !findDirs(pkgs, d.Pos.Filename).Waived(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// findDirs locates the directive set governing filename.
+func findDirs(pkgs []*Package, filename string) *Directives {
+	for _, pkg := range pkgs {
+		if pkg.Dirs.covers(filename) {
+			return pkg.Dirs
+		}
+	}
+	return &Directives{}
+}

@@ -1,0 +1,95 @@
+// Package analysistest runs papivet analyzers over the GOPATH-shaped fixture
+// packages under a testdata/src tree and checks their diagnostics against
+// `// want "regex"` comments, mirroring the x/tools harness of the same name
+// (which this repo cannot depend on; see the internal/analysis package doc).
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/analysis"
+)
+
+// wantPattern extracts the quoted regexes of one want comment.
+var wantPattern = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// An expectation is one `// want "re"` pattern awaiting its diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the fixture package at <testdata>/src/<path> plus its fixture
+// dependencies, applies the analyzer, and matches every diagnostic against
+// the `// want "regex"` comments in the target package's files: each
+// diagnostic must match an unused pattern on its own line, and each pattern
+// must be consumed. Multiple patterns on one line (`// want "a" "b"`) expect
+// that many diagnostics. A want may ride inside another comment (as in
+// `//papivet:allow bogus — x // want "must name an analyzer"`); it anchors to
+// the line the comment starts on.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixtures(testdata, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pkgs[len(pkgs)-1]
+	if target.Path != path {
+		t.Fatalf("fixture load order: got %s last, want %s", target.Path, path)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(target)
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants collects the expectations of every file in the target package.
+func parseWants(pkg *analysis.Package) []*expectation {
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPattern.FindAllStringSubmatch(c.Text[idx:], -1) {
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consume marks the first unused expectation on the diagnostic's line whose
+// pattern matches its message.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}

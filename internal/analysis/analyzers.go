@@ -1,0 +1,14 @@
+package analysis
+
+// All returns the papivet analyzer suite with this repo's configuration:
+// determinism over the simulation packages, unitsafety over the
+// quantity-consuming packages, noalloc over the annotated fast-path
+// functions, and facade over papi.go and the registry lookups.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(nil),
+		NewUnitSafety(nil),
+		NewNoAlloc(),
+		NewFacade(DefaultFacadeConfig()),
+	}
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/analysis"
+	"github.com/papi-sim/papi/internal/analysis/analysistest"
+)
+
+func TestFacade(t *testing.T) {
+	cfg := analysis.FacadeConfig{
+		RootPath:       "facademod",
+		InternalPrefix: "facademod/internal/",
+		Lookups: []analysis.LookupSpec{
+			{Pkg: "/internal/reg", Func: "ByName", Arg: 0, Registry: "things"},
+			{Pkg: "/internal/reg", Func: "Find", Arg: 0, Registry: "catalog"},
+			{Pkg: "/internal/reg", Func: "Lookup", Arg: 0, Registry: "built"},
+		},
+		Registries: map[string]analysis.RegistrySpec{
+			"things":  {Pkg: "/internal/reg", Func: "ByName", Kind: "switch"},
+			"catalog": {Pkg: "/internal/reg", Func: "Catalog", Kind: "literals"},
+			"built":   {Pkg: "/internal/reg", Func: "Registry", Kind: "calls"},
+		},
+	}
+	analysistest.Run(t, "testdata", analysis.NewFacade(cfg), "facademod")
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// LoadModule loads, parses, and type-checks the packages matching patterns
+// (e.g. "./...") in the module rooted at or above dir. Dependencies are
+// consumed as compiler export data via `go list -deps -export -json`, so the
+// loader needs no network and no third-party machinery; only the named
+// packages themselves are parsed. Test files are not loaded: the papivet
+// contracts bind the simulator, not its tests.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Module,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Module != nil {
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter type-imports packages from compiler export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Dirs:  parseDirectives(fset, files),
+	}, nil
+}
+
+// LoadFixtures loads the fixture package at root/src/<path> plus every
+// fixture package it (transitively) imports, in the GOPATH-shaped layout the
+// analyzer tests use (mirroring x/tools' analysistest): an import "units"
+// resolves to root/src/units if that directory exists, and to the standard
+// library otherwise. The requested package is the last element returned.
+func LoadFixtures(root, path string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		root:    root,
+		fset:    fset,
+		checked: map[string]*Package{},
+	}
+
+	// One `go list` run resolves every stdlib package any fixture pulls in.
+	stdlib := map[string]bool{}
+	if err := ld.scanStdlib(path, stdlib, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(stdlib) > 0 {
+		var names []string
+		for p := range stdlib {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, names...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list (fixture stdlib): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	ld.std = exportImporter(fset, exports)
+
+	if _, err := ld.load(path); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range ld.order {
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	checked map[string]*Package
+	order   []*Package
+}
+
+// isFixture reports whether path names a package under root/src.
+func (ld *fixtureLoader) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(ld.root, "src", path))
+	return err == nil && st.IsDir()
+}
+
+// scanStdlib collects the stdlib imports reachable from fixture path.
+func (ld *fixtureLoader) scanStdlib(path string, stdlib, seen map[string]bool) error {
+	if seen[path] {
+		return nil
+	}
+	seen[path] = true
+	files, err := ld.fixtureFiles(path)
+	if err != nil {
+		return err
+	}
+	for _, file := range files {
+		f, err := parser.ParseFile(token.NewFileSet(), file, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if ld.isFixture(p) {
+				if err := ld.scanStdlib(p, stdlib, seen); err != nil {
+					return err
+				}
+			} else {
+				stdlib[p] = true
+			}
+		}
+	}
+	return nil
+}
+
+// fixtureFiles lists the non-test .go files of fixture package path.
+func (ld *fixtureLoader) fixtureFiles(path string) ([]string, error) {
+	dir := filepath.Join(ld.root, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s has no Go files", path)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load type-checks fixture package path (and, via Import, its fixture deps).
+func (ld *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := ld.checked[path]; ok {
+		return p, nil
+	}
+	abs, err := ld.fixtureFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range abs {
+		names = append(names, filepath.Base(f))
+	}
+	pkg, err := checkPackage(ld.fset, ld, path, filepath.Join(ld.root, "src", path), names)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[path] = pkg
+	ld.order = append(ld.order, pkg)
+	return pkg, nil
+}
+
+// Import implements types.Importer over fixture and stdlib packages.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if ld.isFixture(path) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}

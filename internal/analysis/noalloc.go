@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewNoAlloc returns the noalloc analyzer. It inspects only functions whose
+// doc comment carries //papivet:noalloc — the PR 3 fast-path set — and flags
+// constructs that allocate, turning the AllocsPerRun regression tests into
+// line-level diagnostics. It runs on every package: the annotation is the
+// opt-in.
+func NewNoAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc: "forbid allocating constructs (fmt, make/new, escaping composite and func literals, " +
+			"append growth, string conversions and concatenation, interface boxing, go/defer) inside " +
+			"functions annotated //papivet:noalloc",
+		Run: runNoAlloc,
+	}
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := pass.Dirs.NoAlloc(fn); ok {
+				checkNoAllocFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkNoAllocFunc(pass *Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, category, format string, args ...any) {
+		pass.Reportf(pos, category, "%s is annotated //papivet:noalloc: "+format,
+			append([]any{fn.Name.Name}, args...)...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go", "launching a goroutine allocates")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer", "defer allocates a frame record")
+		case *ast.FuncLit:
+			report(n.Pos(), "closure", "a func literal may capture and escape to the heap")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "composite", "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "composite", "slice/map literal allocates its backing store")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "stringconcat", "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, fn, n, report)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr,
+	report func(token.Pos, string, string, ...any)) {
+
+	// Conversions: string <-> []byte/[]rune copy their payload.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, pass.TypesInfo.TypeOf(call.Args[0])
+		if src != nil && isStringSliceConv(dst, src) {
+			report(call.Pos(), "conversion", "string/byte-slice conversion copies the payload")
+		}
+		return
+	}
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make", "make allocates; hoist the buffer out of the hot path")
+			case "new":
+				report(call.Pos(), "new", "new allocates")
+			case "append":
+				report(call.Pos(), "append", "append may grow its backing array; pre-size the slice outside the hot path")
+			}
+			return
+		}
+	}
+
+	if pkg, name := calleePkgFunc(pass, call); pkg == "fmt" {
+		report(call.Pos(), "fmt", "fmt.%s allocates (formatting state and boxed operands)", name)
+		return
+	}
+
+	// Interface boxing: a concrete value passed where an interface is
+	// expected is materialized on the heap (barring escape analysis, which
+	// the fast path must not gamble on).
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "boxing", "passing %s as %s boxes the value into an interface",
+			types.TypeString(at, types.RelativeTo(pass.Pkg)), types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isStringSliceConv reports whether dst(src) converts between string and
+// []byte / []rune in either direction.
+func isStringSliceConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/analysis"
+	"github.com/papi-sim/papi/internal/analysis/analysistest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewNoAlloc(), "noallocfix")
+}

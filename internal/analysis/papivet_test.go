@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/analysis"
+)
+
+// TestRepoIsClean is the meta-test: the whole module must analyze to zero
+// papivet findings, the same gate cmd/papivet (and the CI analysis job)
+// enforces. A regression anywhere in the repo fails `go test ./...` here
+// with the exact file:line:col finding.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := analysis.LoadModule("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module load looks broken", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteShape pins the analyzer roster: exactly the four contracts, under
+// their waivable names.
+func TestSuiteShape(t *testing.T) {
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	want := []string{"determinism", "unitsafety", "noalloc", "facade"}
+	if len(names) != len(want) {
+		t.Fatalf("analyzers %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("analyzers %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package determwaiver exercises waiver parsing: malformed directives are
+// findings in their own right and never suppress anything, while well-formed
+// ones bound their scope to a line pair or a whole declaration.
+package determwaiver
+
+import "time"
+
+func missingOrderedJustification(m map[string]float64) float64 {
+	var total float64
+	//papivet:ordered // want "needs a justification"
+	for _, v := range m { // want "order-dependent accumulation"
+		total += v
+	}
+	return total
+}
+
+func missingAllowJustification() time.Time {
+	//papivet:allow determinism // want "needs a justification"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownAnalyzer() time.Time {
+	//papivet:allow frobnicate — no such analyzer // want "must name an analyzer"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownDirective() {
+	//papivet:frobnicate // want "unknown papivet directive"
+}
+
+func noallocWithArguments() {
+	//papivet:noalloc because fast // want "takes no arguments"
+}
+
+func honoredLineWaiver() time.Time {
+	//papivet:allow determinism — boot banner timestamp, outside the simulated clock
+	return time.Now() // ok: waived by the line above
+}
+
+//papivet:allow determinism — this helper runs before the simulation starts
+func honoredDocWaiver() (time.Time, time.Time) {
+	a := time.Now() // ok: the doc-comment waiver spans the whole declaration
+	b := time.Now() // ok
+	return a, b
+}

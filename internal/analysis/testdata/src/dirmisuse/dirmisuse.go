@@ -1,0 +1,7 @@
+// Package dirmisuse holds a bare noalloc annotation outside any function doc
+// comment; the directive parser must reject it.
+package dirmisuse
+
+func notAnnotated() {
+	//papivet:noalloc
+}

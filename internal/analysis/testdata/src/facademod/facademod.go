@@ -1,0 +1,42 @@
+// Package facademod is the facade-analyzer fixture: a miniature papi.go over
+// an internal/ package with switch-, literal- and constructor-shaped
+// registries.
+package facademod
+
+import "facademod/internal/reg"
+
+// Widget re-exports the internal widget type.
+type Widget = reg.Widget
+
+type Rogue struct{ N int } // want "defined locally"
+
+// ThingByName delegates cleanly: identical parameters and results.
+func ThingByName(name string) (reg.Widget, error) { return reg.ByName(name) }
+
+// Describe narrows its origin's any parameter to string.
+func Describe(v string) string { return reg.Describe(v) } // want "facade wrapper Describe"
+
+func Version() string { return "fixture" } // want "does not reference any facademod/internal/"
+
+// DefaultWidget derives from the internal registry.
+var DefaultWidget, _ = reg.ByName("alpha")
+
+var Stray = 42 // want "not derived from"
+
+func lookupGood() (reg.Widget, error) { return reg.ByName("beta") }
+
+func lookupBad() (reg.Widget, error) {
+	return reg.ByName("nope") // want "does not name a registered things"
+}
+
+func catalogGood() reg.Widget { return reg.Find("gamma") }
+
+func catalogBad() reg.Widget {
+	return reg.Find("alpha") // want "does not name a registered catalog"
+}
+
+func builtGood() reg.Widget { return reg.Lookup("epsilon") }
+
+func builtBad() reg.Widget {
+	return reg.Lookup("unknown") // want "does not name a registered built"
+}

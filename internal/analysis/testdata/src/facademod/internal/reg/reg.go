@@ -1,0 +1,60 @@
+// Package reg is the internal origin behind the facademod facade fixture.
+package reg
+
+import "errors"
+
+// Widget is the fixture's domain object.
+type Widget struct{ Name string }
+
+// NameEpsilon names the constructed epsilon widget.
+const NameEpsilon = "epsilon"
+
+// ByName is a switch-shaped registry.
+func ByName(name string) (Widget, error) {
+	switch name {
+	case "alpha", "beta":
+		return Widget{Name: name}, nil
+	}
+	return Widget{}, errors.New("reg: unknown widget " + name)
+}
+
+// Describe is the origin of the facade's signature-drifting wrapper.
+func Describe(v any) string {
+	if w, ok := v.(Widget); ok {
+		return w.Name
+	}
+	return "?"
+}
+
+// Catalog is a literal-shaped registry.
+func Catalog() []Widget {
+	return []Widget{{Name: "gamma"}, {Name: "delta"}}
+}
+
+// Find resolves a catalog entry.
+func Find(name string) Widget {
+	for _, w := range Catalog() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return Widget{}
+}
+
+// Registry is a constructor-shaped registry.
+func Registry() []Widget {
+	return []Widget{epsilon(), zeta()}
+}
+
+func epsilon() Widget { return Widget{Name: NameEpsilon} }
+func zeta() Widget    { return Widget{Name: "zeta"} }
+
+// Lookup resolves a constructed entry.
+func Lookup(name string) Widget {
+	for _, w := range Registry() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return Widget{}
+}

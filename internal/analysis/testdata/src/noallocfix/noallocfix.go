@@ -1,0 +1,51 @@
+// Package noallocfix exercises the noalloc annotation: every allocating
+// construct inside an annotated function is flagged; unannotated twins and
+// clean annotated functions stay silent.
+package noallocfix
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var global []int
+
+func consume(v any) {}
+
+func noop() {}
+
+//papivet:noalloc
+func hotPath(buf []int, s1, s2 string, n int) int {
+	tmp := make([]int, n)        // want "make allocates"
+	pt := new(point)             // want "new allocates"
+	buf = append(buf, n)         // want "append may grow its backing array"
+	msg := fmt.Sprintf("%d", n)  // want "fmt.Sprintf allocates"
+	joined := s1 + s2            // want "string concatenation allocates"
+	esc := &point{x: n}          // want "composite literal escapes to the heap"
+	lit := []int{n, n}           // want "slice/map literal allocates"
+	m := map[int]int{}           // want "slice/map literal allocates"
+	f := func() int { return n } // want "func literal may capture"
+	go f()                       // want "launching a goroutine allocates"
+	defer noop()                 // want "defer allocates a frame record"
+	raw := []byte(msg)           // want "conversion copies the payload"
+	consume(n)                   // want "boxes the value into an interface"
+	return len(tmp) + pt.x + len(buf) + len(joined) + esc.x + lit[0] + len(m) + f() + len(raw)
+}
+
+//papivet:noalloc
+func (p *point) grow() {
+	global = append(global, p.x) // want "append may grow its backing array"
+}
+
+//papivet:noalloc
+func cleanHot(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func coldPath(n int) string {
+	buf := make([]int, n) // ok: not annotated
+	buf = append(buf, n)  // ok
+	return fmt.Sprintf("%d", len(buf))
+}

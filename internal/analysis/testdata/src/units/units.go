@@ -1,0 +1,21 @@
+// Package units is the fixture analogue of internal/units: just enough
+// quantity types and sanctioned helpers for the unitsafety fixtures.
+package units
+
+// Seconds measures fixture time.
+type Seconds float64
+
+// Joules measures fixture energy.
+type Joules float64
+
+// Bytes measures fixture data volume.
+type Bytes float64
+
+// Seconds is the sanctioned accessor.
+func (s Seconds) Seconds() float64 { return float64(s) }
+
+// Scale multiplies by a dimensionless factor.
+func (s Seconds) Scale(k float64) Seconds { return Seconds(float64(s) * k) }
+
+// Ratio is the sanctioned dimensionless quotient.
+func Ratio[T ~float64](num, den T) float64 { return float64(num) / float64(den) }

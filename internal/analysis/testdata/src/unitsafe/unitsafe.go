@@ -1,0 +1,44 @@
+// Package unitsafe exercises the unit-laundering checks against the fake
+// units package in ../units.
+package unitsafe
+
+import "units"
+
+func launder(s units.Seconds) float64 {
+	return float64(s) // want "drops the Seconds dimension"
+}
+
+func launderInt(b units.Bytes) int {
+	return int(b) // want "drops the Bytes dimension"
+}
+
+func crossCast(s units.Seconds) units.Joules {
+	return units.Joules(s) // want "casts Seconds directly to Joules"
+}
+
+func accessor(s units.Seconds) float64 {
+	return s.Seconds() // ok: the sanctioned accessor
+}
+
+func construct(v float64) units.Seconds {
+	return units.Seconds(v) // ok: numeric -> quantity is construction, not laundering
+}
+
+func scaled(s units.Seconds, k float64) units.Seconds {
+	return s.Scale(k) // ok: dimension preserved
+}
+
+func ratio(a, b units.Seconds) float64 {
+	return units.Ratio(a, b) // ok: dimensionless quotient
+}
+
+//papivet:allow unitsafety — hashing wants the raw bit pattern of the value
+func waived(j units.Joules) float64 {
+	return float64(j) // ok: waived at the declaration
+}
+
+type plain float64
+
+func plainCast(p plain) float64 {
+	return float64(p) // ok: not a units type
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/analysis"
+	"github.com/papi-sim/papi/internal/analysis/analysistest"
+)
+
+func TestUnitSafety(t *testing.T) {
+	a := analysis.NewUnitSafety(func(path string) bool { return path == "unitsafe" })
+	analysistest.Run(t, "testdata", a, "unitsafe")
+}

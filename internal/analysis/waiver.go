@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectiveAnalyzerName tags diagnostics about the directives themselves
+// (malformed waivers, missing justifications). These cannot be waived.
+const DirectiveAnalyzerName = "papivet"
+
+// Directive kinds.
+const (
+	// KindAllow waives one analyzer's findings over the directive's scope:
+	//
+	//	//papivet:allow unitsafety — dimensionless ratio
+	KindAllow = "allow"
+	// KindOrdered waives determinism map-range findings — an assertion that
+	// the loop body is iteration-order-insensitive:
+	//
+	//	//papivet:ordered — inserts into another map, order immaterial
+	KindOrdered = "ordered"
+	// KindNoAlloc is not a waiver but an annotation: it opts the function
+	// under its doc comment into the noalloc analyzer's checks.
+	KindNoAlloc = "noalloc"
+)
+
+// knownAnalyzers are the names //papivet:allow may waive.
+var knownAnalyzers = map[string]bool{
+	"determinism": true,
+	"unitsafety":  true,
+	"noalloc":     true,
+	"facade":      true,
+}
+
+// A Directive is one parsed //papivet: comment.
+type Directive struct {
+	Pos           token.Position
+	Kind          string
+	Analyzer      string // KindAllow only
+	Justification string
+	// The directive suppresses findings on lines [FromLine, ToLine] of its
+	// file: its own line and the next for line directives, the whole
+	// declaration for doc-comment directives.
+	FromLine, ToLine int
+}
+
+// Directives is one package's parsed //papivet: comments.
+type Directives struct {
+	byFile    map[string][]Directive
+	files     map[string]bool
+	noalloc   map[*ast.FuncDecl]Directive
+	Malformed []Diagnostic
+}
+
+// parseDirectives scans the package's comments. Directive scope: a directive
+// inside a declaration's doc comment covers the whole declaration; any other
+// directive covers its own line and the one below it (so both trailing
+// same-line comments and stand-alone comments above the offending line work).
+func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		byFile:  map[string][]Directive{},
+		files:   map[string]bool{},
+		noalloc: map[*ast.FuncDecl]Directive{},
+	}
+	for _, f := range files {
+		d.files[fset.Position(f.Pos()).Filename] = true
+
+		// Doc comments attach their directives to the declaration's span.
+		docOf := map[*ast.CommentGroup]ast.Decl{}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Doc != nil {
+					docOf[decl.Doc] = decl
+				}
+			case *ast.GenDecl:
+				if decl.Doc != nil {
+					docOf[decl.Doc] = decl
+				}
+			}
+		}
+
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//papivet:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dir, errmsg := parseDirective(text)
+				if errmsg != "" {
+					d.Malformed = append(d.Malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  errmsg,
+					})
+					continue
+				}
+				dir.Pos = pos
+				dir.FromLine, dir.ToLine = pos.Line, pos.Line+1
+				if decl, ok := docOf[group]; ok {
+					dir.FromLine = fset.Position(decl.Pos()).Line
+					dir.ToLine = fset.Position(decl.End()).Line
+					if fn, ok := decl.(*ast.FuncDecl); ok && dir.Kind == KindNoAlloc {
+						d.noalloc[fn] = dir
+					}
+				} else if dir.Kind == KindNoAlloc {
+					d.Malformed = append(d.Malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  "papivet:noalloc must appear in a function's doc comment",
+					})
+					continue
+				}
+				d.byFile[pos.Filename] = append(d.byFile[pos.Filename], dir)
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective parses the text after "//papivet:". It returns a
+// description of the problem when the directive is malformed.
+func parseDirective(text string) (Directive, string) {
+	kind, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+	rest = strings.TrimSpace(rest)
+	switch kind {
+	case KindNoAlloc:
+		if rest != "" {
+			return Directive{}, "papivet:noalloc takes no arguments"
+		}
+		return Directive{Kind: KindNoAlloc}, ""
+	case KindOrdered:
+		just, ok := cutJustification(rest)
+		if !ok {
+			return Directive{}, "papivet:ordered needs a justification: //papivet:ordered — why order cannot matter"
+		}
+		return Directive{Kind: KindOrdered, Justification: just}, ""
+	case KindAllow:
+		name, tail, _ := strings.Cut(rest, " ")
+		if !knownAnalyzers[name] {
+			return Directive{}, "papivet:allow must name an analyzer (determinism, unitsafety, noalloc, facade)"
+		}
+		just, ok := cutJustification(strings.TrimSpace(tail))
+		if !ok {
+			return Directive{}, "papivet:allow needs a justification: //papivet:allow " + name + " — why this is safe"
+		}
+		return Directive{Kind: KindAllow, Analyzer: name, Justification: just}, ""
+	default:
+		return Directive{}, "unknown papivet directive " + kind + " (have allow, ordered, noalloc)"
+	}
+}
+
+// cutJustification strips the "— reason" (or "-- reason") tail required on
+// waivers; ok is false when the justification is missing or empty.
+func cutJustification(s string) (string, bool) {
+	for _, sep := range []string{"—", "--"} {
+		if _, just, found := strings.Cut(s, sep); found {
+			just = strings.TrimSpace(just)
+			return just, just != ""
+		}
+	}
+	return "", false
+}
+
+// Waived reports whether diag is suppressed by a directive in its file.
+func (d *Directives) Waived(diag Diagnostic) bool {
+	for _, dir := range d.byFile[diag.Pos.Filename] {
+		if diag.Pos.Line < dir.FromLine || diag.Pos.Line > dir.ToLine {
+			continue
+		}
+		switch dir.Kind {
+		case KindAllow:
+			if dir.Analyzer == diag.Analyzer {
+				return true
+			}
+		case KindOrdered:
+			if diag.Analyzer == "determinism" && diag.Category == "maprange" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NoAlloc returns the noalloc annotation on fn, if any.
+func (d *Directives) NoAlloc(fn *ast.FuncDecl) (Directive, bool) {
+	dir, ok := d.noalloc[fn]
+	return dir, ok
+}
+
+// All returns every directive (waivers and annotations) in file/line order —
+// the audit list behind papivet -waivers.
+func (d *Directives) All() []Directive {
+	var out []Directive
+	for _, dirs := range d.byFile {
+		out = append(out, dirs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// covers reports whether filename belongs to this directive set's package.
+func (d *Directives) covers(filename string) bool { return d.files[filename] }

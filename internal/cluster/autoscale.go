@@ -171,7 +171,7 @@ func (s *scaler) observeStep(rep *Replica, info serving.StepInfo) {
 			continue
 		}
 		if pm, ok := rep.stepper.PeekMetrics(req.ID); ok && pm.OutputTokens > 1 {
-			s.tpots = append(s.tpots, float64(pm.TPOT))
+			s.tpots = append(s.tpots, pm.TPOT.Seconds())
 		}
 	}
 	if rep.state == repDraining && info.Completed > 0 && rep.stepper.Outstanding() == 0 {
@@ -223,15 +223,15 @@ func (s *scaler) tick(now units.Seconds) {
 		case repActive:
 			act++
 			queue += rep.stepper.Outstanding()
-			if kvCap := float64(rep.engine.Sys.KVCapacity()); kvCap > 0 {
-				if f := float64(rep.stepper.KVDemand()) / kvCap; f > kvMax {
+			if kvCap := rep.engine.Sys.KVCapacity().Bytes(); kvCap > 0 {
+				if f := units.Ratio(rep.stepper.KVDemand(), rep.engine.Sys.KVCapacity()); f > kvMax {
 					kvMax = f
 				}
 			}
 		}
 	}
 	queuePer := float64(queue) / float64(act)
-	ratePer := float64(s.arrivals) / float64(s.opt.Interval) / float64(act)
+	ratePer := float64(s.arrivals) / s.opt.Interval.Seconds() / float64(act)
 	tpot95 := 0.0
 	if len(s.tpots) > 0 {
 		tpot95 = stats.Percentile(s.tpots, 95)
@@ -239,7 +239,7 @@ func (s *scaler) tick(now units.Seconds) {
 	sig := ScaleEvent{At: now, QueuePerReplica: queuePer,
 		TPOTP95: units.Seconds(tpot95), KVPressure: kvMax, ArrivalRate: ratePer}
 
-	slo := float64(s.opt.SLO.TokenLatency)
+	slo := s.opt.SLO.TokenLatency.Seconds()
 	cooled := now-s.lastAction >= s.opt.CoolDown
 
 	// Max bounds the powered-on fleet, so a still-draining replica counts

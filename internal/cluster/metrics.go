@@ -183,20 +183,20 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		}
 		for _, rm := range res.Requests {
 			f.Requests = append(f.Requests, rm)
-			ttfts = append(ttfts, float64(rm.TTFT))
+			ttfts = append(ttfts, rm.TTFT.Seconds())
 			if rm.OutputTokens > 1 {
-				tpots = append(tpots, float64(rm.TPOT))
+				tpots = append(tpots, rm.TPOT.Seconds())
 				if rm.Class == workload.ClassBatch {
-					tpotsBatch = append(tpotsBatch, float64(rm.TPOT))
+					tpotsBatch = append(tpotsBatch, rm.TPOT.Seconds())
 				} else {
-					tpotsInteractive = append(tpotsInteractive, float64(rm.TPOT))
+					tpotsInteractive = append(tpotsInteractive, rm.TPOT.Seconds())
 				}
 			}
 			if acc != nil {
 				acc.dm.metrics = append(acc.dm.metrics, rm)
-				acc.ttfts = append(acc.ttfts, float64(rm.TTFT))
+				acc.ttfts = append(acc.ttfts, rm.TTFT.Seconds())
 				if rm.OutputTokens > 1 {
-					acc.tpots = append(acc.tpots, float64(rm.TPOT))
+					acc.tpots = append(acc.tpots, rm.TPOT.Seconds())
 				}
 			}
 		}
@@ -224,7 +224,7 @@ func (f *FleetResult) TokensPerSecond() float64 {
 	if f.Makespan <= 0 {
 		return 0
 	}
-	return float64(f.Tokens) / float64(f.Makespan)
+	return float64(f.Tokens) / f.Makespan.Seconds()
 }
 
 // RequestsPerSecond is the completed-request rate over the makespan.
@@ -232,7 +232,7 @@ func (f *FleetResult) RequestsPerSecond() float64 {
 	if f.Makespan <= 0 {
 		return 0
 	}
-	return float64(len(f.Requests)) / float64(f.Makespan)
+	return float64(len(f.Requests)) / f.Makespan.Seconds()
 }
 
 // Attainment scores the merged request set against a per-token SLO (see
@@ -254,7 +254,7 @@ func (f *FleetResult) JoulesPerToken() float64 {
 	if f.Tokens == 0 {
 		return 0
 	}
-	return float64(f.Energy.Total()) / float64(f.Tokens)
+	return f.Energy.Total().Joules() / float64(f.Tokens)
 }
 
 // String renders the per-replica table and the fleet digest.

@@ -144,7 +144,7 @@ func (s *System) WeightCapacity() units.Bytes {
 	if n == 0 {
 		n = WeightDevices
 	}
-	return units.Bytes(float64(n) * float64(hbm.PlainStack().Capacity()))
+	return hbm.PlainStack().Capacity().Scale(float64(n))
 }
 
 // KVCapacity returns the attention pool's KV-cache capacity.
@@ -161,11 +161,11 @@ func (s *System) FitsModel(cfg model.Config) error {
 // MaxBatchForKV returns the largest batch whose KV caches fit the attention
 // pool when every request reaches seqLen (§3.2(b)'s memory-capacity limit).
 func (s *System) MaxBatchForKV(cfg model.Config, seqLen int) int {
-	per := float64(cfg.KVBytes(seqLen))
+	per := cfg.KVBytes(seqLen).Bytes()
 	if per <= 0 {
 		return 0
 	}
-	return int(float64(s.KVCapacity()) / per)
+	return int(s.KVCapacity().Bytes() / per)
 }
 
 // HasGPU reports whether the design includes processing units.

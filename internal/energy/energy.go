@@ -97,6 +97,8 @@ func (l *Ledger) Add(c Component, j units.Joules) {
 // — the hot-path equivalent of Add, small enough to inline to two stores.
 // As with Add, negative charges panic (without the formatted detail, to stay
 // inside the inlining budget); an out-of-range slot panics via the index.
+//
+//papivet:noalloc
 func (l *Ledger) AddSlot(s Slot, j units.Joules) {
 	if j < 0 {
 		panic("energy: negative charge")

@@ -50,7 +50,7 @@ func AblationAlpha() AlphaSweepResult {
 		if err != nil {
 			panic(err)
 		}
-		ms := 1e3 * float64(r.TotalTime())
+		ms := 1e3 * r.TotalTime().Seconds()
 		out.Rows = append(out.Rows, AlphaRow{Alpha: alpha, TotalMS: ms})
 		if best == 0 || ms < best {
 			best = ms
@@ -104,7 +104,7 @@ func AblationHybridPIM() HybridPIMResult {
 	for _, c := range Fig8Grid() {
 		u := runOne(uniform, cfg, ds, c)
 		h := runOne(core.NewPIMOnlyPAPI(), cfg, ds, c)
-		s := float64(u.DecodeTime) / float64(h.DecodeTime)
+		s := units.Ratio(u.DecodeTime, h.DecodeTime)
 		out.Rows = append(out.Rows, struct {
 			Config
 			Speedup float64
@@ -138,28 +138,43 @@ type DynamicVsStaticResult struct {
 	Reschedules int
 }
 
-// AblationDynamicVsStatic runs the three policies.
-func AblationDynamicVsStatic() DynamicVsStaticResult {
+// AblationDynamicVsStatic runs the three policies on the stock PAPI design.
+func AblationDynamicVsStatic() (DynamicVsStaticResult, error) {
+	return ablationDynamicVsStatic(func() *core.System { return core.NewPAPI(0) })
+}
+
+// ablationDynamicVsStatic runs the three policies on fresh systems from
+// newSys. An engine that fails to build or run under any policy fails the
+// whole ablation — a partial table would silently compare policies across
+// different hardware.
+func ablationDynamicVsStatic(newSys func() *core.System) (DynamicVsStaticResult, error) {
 	cfg := model.LLaMA65B()
 	reqs := workload.CreativeWriting().Generate(48, Seed)
-	run := func(p sched.Policy) (float64, int) {
-		sys := core.NewPAPI(0)
+	run := func(p sched.Policy) (float64, int, error) {
+		sys := newSys()
 		sys.Policy = p
 		eng, err := serving.New(sys, cfg, serving.DefaultOptions(1))
 		if err != nil {
-			panic(err)
+			return 0, 0, fmt.Errorf("ablation-sched: policy %s: %w", p.Name(), err)
 		}
 		r, err := eng.RunBatch(reqs)
 		if err != nil {
-			panic(err)
+			return 0, 0, fmt.Errorf("ablation-sched: policy %s: %w", p.Name(), err)
 		}
-		return 1e3 * float64(r.TotalTime()), r.Reschedules
+		return 1e3 * r.TotalTime().Seconds(), r.Reschedules, nil
 	}
 	var out DynamicVsStaticResult
-	out.DynamicMS, out.Reschedules = run(sched.Dynamic{Alpha: core.DefaultAlpha})
-	out.StaticPUMS, _ = run(sched.AlwaysPU())
-	out.StaticPIMMS, _ = run(sched.AlwaysPIM())
-	return out
+	var err error
+	if out.DynamicMS, out.Reschedules, err = run(sched.Dynamic{Alpha: core.DefaultAlpha}); err != nil {
+		return DynamicVsStaticResult{}, err
+	}
+	if out.StaticPUMS, _, err = run(sched.AlwaysPU()); err != nil {
+		return DynamicVsStaticResult{}, err
+	}
+	if out.StaticPIMMS, _, err = run(sched.AlwaysPIM()); err != nil {
+		return DynamicVsStaticResult{}, err
+	}
+	return out, nil
 }
 
 // String renders the comparison.
@@ -222,8 +237,8 @@ func AblationBatching() BatchingResult {
 	}
 
 	out := BatchingResult{
-		ContinuousMS: 1e3 * float64(rc.TotalTime()),
-		StaticMS:     1e3 * float64(clock),
+		ContinuousMS: 1e3 * rc.TotalTime().Seconds(),
+		StaticMS:     1e3 * clock.Seconds(),
 	}
 	out.Speedup = out.StaticMS / out.ContinuousMS
 	return out
@@ -268,7 +283,7 @@ func AblationSchedulingCost() SchedulingCostResult {
 		if err != nil {
 			panic(err)
 		}
-		return 1e3 * float64(r.TotalTime())
+		return 1e3 * r.TotalTime().Seconds()
 	}
 	var out SchedulingCostResult
 	base := 0.0

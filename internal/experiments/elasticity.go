@@ -232,7 +232,7 @@ func (r ElasticityResult) String() string {
 		}
 		tb.AddRow(c.Config,
 			fmt.Sprintf("%d", c.PeakReplicas),
-			fmt.Sprintf("%.2f", float64(c.ReplicaSeconds)),
+			fmt.Sprintf("%.2f", c.ReplicaSeconds.Seconds()),
 			fmt.Sprintf("%.1f", c.JoulesPerToken),
 			units.Seconds(c.InteractiveTPOT.P99).String(),
 			fmt.Sprintf("%.2f", c.InteractiveAttainment),
@@ -248,8 +248,8 @@ func (r ElasticityResult) String() string {
 	case okBase && okAuto && auto.MeetsSLO(r.SLO):
 		fmt.Fprintf(&b,
 			"autoscaled holds the SLO with %.2f replica·s vs %.2f for %s (%.1f%% less) · %.1f vs %.1f J/token\n",
-			float64(auto.ReplicaSeconds), float64(base.ReplicaSeconds), base.Config,
-			100*(1-float64(auto.ReplicaSeconds)/float64(base.ReplicaSeconds)),
+			auto.ReplicaSeconds.Seconds(), base.ReplicaSeconds.Seconds(), base.Config,
+			100*(1-units.Ratio(auto.ReplicaSeconds, base.ReplicaSeconds)),
 			auto.JoulesPerToken, base.JoulesPerToken)
 	case okAuto && auto.MeetsSLO(r.SLO):
 		b.WriteString("autoscaled holds the SLO; no static cell does\n")

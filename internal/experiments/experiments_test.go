@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/papi-sim/papi/internal/core"
+	"github.com/papi-sim/papi/internal/hbm"
 	"github.com/papi-sim/papi/internal/kernels"
+	"github.com/papi-sim/papi/internal/pim"
 )
 
 // These tests assert the *shape* fidelity contract of EXPERIMENTS.md: who
@@ -172,7 +175,10 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestAblationDynamicBeatsStatics(t *testing.T) {
-	r := AblationDynamicVsStatic()
+	r, err := AblationDynamicVsStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.DynamicMS > r.StaticPUMS*1.001 {
 		t.Errorf("dynamic (%0.f ms) should not lose to always-PU (%.0f ms)", r.DynamicMS, r.StaticPUMS)
 	}
@@ -181,6 +187,23 @@ func TestAblationDynamicBeatsStatics(t *testing.T) {
 	}
 	if r.Reschedules == 0 {
 		t.Error("the workload should cross α and trigger reschedules")
+	}
+}
+
+func TestAblationDynamicVsStaticPropagatesErrors(t *testing.T) {
+	// A weight pool far too small for LLaMA-65B: serving.New must reject the
+	// design, and the ablation must surface that error instead of panicking
+	// or returning a partial comparison table.
+	_, err := ablationDynamicVsStatic(func() *core.System {
+		sys := core.NewPAPI(0)
+		sys.FCPIM = pim.New(hbm.AttAccStack(), 1)
+		return sys
+	})
+	if err == nil {
+		t.Fatal("ablation on an undersized design should fail")
+	}
+	if !strings.Contains(err.Error(), "ablation-sched") {
+		t.Errorf("error should identify the failing ablation and policy: %v", err)
 	}
 }
 
@@ -215,6 +238,10 @@ func TestAblationBatching(t *testing.T) {
 }
 
 func TestRenderingsNonEmpty(t *testing.T) {
+	ablSched, err := AblationDynamicVsStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, s := range map[string]string{
 		"fig3":      Fig3(16).String(),
 		"fig4":      Fig4().String(),
@@ -225,7 +252,7 @@ func TestRenderingsNonEmpty(t *testing.T) {
 		"fig12":     Fig12().String(),
 		"ablAlpha":  AblationAlpha().String(),
 		"ablHybrid": AblationHybridPIM().String(),
-		"ablSched":  AblationDynamicVsStatic().String(),
+		"ablSched":  ablSched.String(),
 		"ablBatch":  AblationBatching().String(),
 	} {
 		if len(s) < 50 || !strings.Contains(s, "\n") {

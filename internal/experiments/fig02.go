@@ -39,7 +39,7 @@ func Fig2() Fig2Result {
 			Config:           c,
 			Kernel:           k.Kind.String(),
 			AI:               p.AI,
-			AttainableTFLOPS: float64(p.Attainable) / 1e12,
+			AttainableTFLOPS: p.Attainable.FLOPSPerSec() / 1e12,
 			Bound:            p.Bound,
 		}
 	}

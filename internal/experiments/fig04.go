@@ -55,13 +55,13 @@ func Fig4() Fig4Result {
 			out.Rows = append(out.Rows, Fig4Row{
 				Config: Config{Batch: batch, Spec: spec},
 				A100:   a,
-				HBMPIM: float64(fc(hbmpim, p)) / float64(a),
-				AttAcc: float64(fc(attacc, p)) / float64(a),
+				HBMPIM: units.Ratio(fc(hbmpim, p), a),
+				AttAcc: units.Ratio(fc(attacc, p), a),
 			})
 		}
 	}
 	for batch := 1; batch <= 256; batch *= 2 {
-		if float64(gpuT(batch*2)) < float64(fc(attacc, batch*2)) {
+		if gpuT(batch*2) < fc(attacc, batch*2) {
 			out.CrossoverBatch = batch
 			break
 		}

@@ -31,22 +31,22 @@ func Fig7Energy() Fig7EnergyResult {
 	w := units.Bytes(32 * units.MiB)
 	shares := func(reuse float64) [3]float64 {
 		k := pim.Kernel{Name: "fc", Class: pim.ClassFC,
-			Flops: units.FLOPs(reuse * float64(w)), UniqueBytes: w}
+			Flops: units.FLOPs(reuse * w.Bytes()), UniqueBytes: w}
 		e := d.Execute(k, 1).Energy
-		dyn := float64(e.DRAMAccess + e.Transfer + e.Compute)
+		dyn := (e.DRAMAccess + e.Transfer + e.Compute).Joules()
 		return [3]float64{
-			float64(e.DRAMAccess) / dyn,
-			float64(e.Transfer) / dyn,
-			float64(e.Compute) / dyn,
+			e.DRAMAccess.Joules() / dyn,
+			e.Transfer.Joules() / dyn,
+			e.Compute.Joules() / dyn,
 		}
 	}
 	det := d.ExecuteDetailed(pim.Kernel{Name: "fc", Class: pim.ClassFC,
-		Flops: units.FLOPs(float64(w)), UniqueBytes: w}, 1).Energy
-	detDyn := float64(det.DRAMAccess + det.Transfer + det.Compute)
+		Flops: units.FLOPs(w.Bytes()), UniqueBytes: w}, 1).Energy
+	detDyn := (det.DRAMAccess + det.Transfer + det.Compute).Joules()
 	return Fig7EnergyResult{
 		NoReuse:                  shares(1),
 		Reuse64:                  shares(64),
-		DetailedNoReuseDRAMShare: float64(det.DRAMAccess) / detDyn,
+		DetailedNoReuseDRAMShare: det.DRAMAccess.Joules() / detDyn,
 	}
 }
 
@@ -97,9 +97,9 @@ func Fig7Power() Fig7PowerResult {
 	for _, r := range []float64{1, 4, 16, 64} {
 		out.Rows = append(out.Rows, Fig7PowerRow{
 			Reuse:   r,
-			OneP1B:  float64(pim.DemandPower(one, m, r)),
-			TwoP1B:  float64(pim.DemandPower(two, m, r)),
-			FourP1B: float64(pim.DemandPower(four, m, r)),
+			OneP1B:  pim.DemandPower(one, m, r).Watts(),
+			TwoP1B:  pim.DemandPower(two, m, r).Watts(),
+			FourP1B: pim.DemandPower(four, m, r).Watts(),
 		})
 	}
 	return out

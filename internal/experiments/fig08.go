@@ -68,7 +68,7 @@ func fig8Like(ds workload.Dataset, cfgs []model.Config, designs []*core.System) 
 			baseTime, baseEnergy := 0.0, 0.0
 			for i, sys := range designs {
 				r := runOne(sys, cfg, ds, c)
-				t, e := float64(r.TotalTime()), float64(r.Energy.Total())
+				t, e := r.TotalTime().Seconds(), r.Energy.Total().Joules()
 				if i == 0 {
 					baseTime, baseEnergy = t, e
 				}

@@ -7,6 +7,7 @@ import (
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/stats"
+	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
 
@@ -40,8 +41,8 @@ func Fig10() Fig10Result {
 		papi := runOne(core.NewPAPI(0), cfg, ds, c)
 		return Fig10Row{
 			Config:     c,
-			AttAccOnly: float64(base.TotalTime()) / float64(ao.TotalTime()),
-			PAPI:       float64(base.TotalTime()) / float64(papi.TotalTime()),
+			AttAccOnly: units.Ratio(base.TotalTime(), ao.TotalTime()),
+			PAPI:       units.Ratio(base.TotalTime(), papi.TotalTime()),
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/stats"
+	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
 
@@ -38,7 +39,7 @@ func Fig11() Fig11Result {
 	for _, c := range Fig8Grid() {
 		ao := runOne(core.NewAttAccOnly(), cfg, ds, c)
 		pp := runOne(core.NewPIMOnlyPAPI(), cfg, ds, c)
-		s := float64(ao.DecodeTime) / float64(pp.DecodeTime)
+		s := units.Ratio(ao.DecodeTime, pp.DecodeTime)
 		out.Rows = append(out.Rows, Fig11Row{Config: c, Speedup: s})
 		xs = append(xs, s)
 		if c.Batch == 4 && c.Spec == 1 {

@@ -44,15 +44,15 @@ func Fig12() Fig12Result {
 	bar := func(sys *core.System) Fig12Bar {
 		r := runOne(sys, cfg, ds, c)
 		tok := float64(r.Tokens)
-		total := float64(r.DecodeTime)
+		total := r.DecodeTime.Seconds()
 		return Fig12Bar{
 			System:      sys.Name,
-			AttentionMS: 1e3 * float64(r.Breakdown.Attention) / tok,
-			FCMS:        1e3 * float64(r.Breakdown.FC) / tok,
-			CommMS:      1e3 * float64(r.Breakdown.Communication) / tok,
-			OtherMS:     1e3 * float64(r.Breakdown.Other) / tok,
+			AttentionMS: 1e3 * r.Breakdown.Attention.Seconds() / tok,
+			FCMS:        1e3 * r.Breakdown.FC.Seconds() / tok,
+			CommMS:      1e3 * r.Breakdown.Communication.Seconds() / tok,
+			OtherMS:     1e3 * r.Breakdown.Other.Seconds() / tok,
 			TotalMS:     1e3 * total / tok,
-			CommShare:   float64(r.Breakdown.Communication) / total,
+			CommShare:   r.Breakdown.Communication.Seconds() / total,
 		}
 	}
 	ao := bar(core.NewAttAccOnly())

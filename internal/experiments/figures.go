@@ -9,32 +9,32 @@ import "fmt"
 // documentation against the real set.
 type Figure struct {
 	ID  string
-	Run func() fmt.Stringer
+	Run func() (fmt.Stringer, error)
 }
 
 // Figures returns every figure in presentation order.
 func Figures() []Figure {
 	return []Figure{
-		{"2", func() fmt.Stringer { return Fig2() }},
-		{"3", func() fmt.Stringer { return Fig3(64) }},
-		{"4", func() fmt.Stringer { return Fig4() }},
-		{"6", func() fmt.Stringer { return Fig6() }},
-		{"7e", func() fmt.Stringer { return Fig7Energy() }},
-		{"7p", func() fmt.Stringer { return Fig7Power() }},
-		{"8", func() fmt.Stringer { return Fig8() }},
-		{"9", func() fmt.Stringer { return Fig9() }},
-		{"10", func() fmt.Stringer { return Fig10() }},
-		{"11", func() fmt.Stringer { return Fig11() }},
-		{"12", func() fmt.Stringer { return Fig12() }},
-		{"ablation-alpha", func() fmt.Stringer { return AblationAlpha() }},
-		{"ablation-hybrid", func() fmt.Stringer { return AblationHybridPIM() }},
-		{"ablation-sched", func() fmt.Stringer { return AblationDynamicVsStatic() }},
-		{"ablation-batching", func() fmt.Stringer { return AblationBatching() }},
-		{"ablation-schedcost", func() fmt.Stringer { return AblationSchedulingCost() }},
-		{"capacity", func() fmt.Stringer { return Capacity() }},
-		{"scenarios", func() fmt.Stringer { return Scenarios() }},
-		{"elasticity", func() fmt.Stringer { return Elasticity() }},
-		{"dse", func() fmt.Stringer { return DSE() }},
+		{"2", func() (fmt.Stringer, error) { return Fig2(), nil }},
+		{"3", func() (fmt.Stringer, error) { return Fig3(64), nil }},
+		{"4", func() (fmt.Stringer, error) { return Fig4(), nil }},
+		{"6", func() (fmt.Stringer, error) { return Fig6(), nil }},
+		{"7e", func() (fmt.Stringer, error) { return Fig7Energy(), nil }},
+		{"7p", func() (fmt.Stringer, error) { return Fig7Power(), nil }},
+		{"8", func() (fmt.Stringer, error) { return Fig8(), nil }},
+		{"9", func() (fmt.Stringer, error) { return Fig9(), nil }},
+		{"10", func() (fmt.Stringer, error) { return Fig10(), nil }},
+		{"11", func() (fmt.Stringer, error) { return Fig11(), nil }},
+		{"12", func() (fmt.Stringer, error) { return Fig12(), nil }},
+		{"ablation-alpha", func() (fmt.Stringer, error) { return AblationAlpha(), nil }},
+		{"ablation-hybrid", func() (fmt.Stringer, error) { return AblationHybridPIM(), nil }},
+		{"ablation-sched", func() (fmt.Stringer, error) { return AblationDynamicVsStatic() }},
+		{"ablation-batching", func() (fmt.Stringer, error) { return AblationBatching(), nil }},
+		{"ablation-schedcost", func() (fmt.Stringer, error) { return AblationSchedulingCost(), nil }},
+		{"capacity", func() (fmt.Stringer, error) { return Capacity(), nil }},
+		{"scenarios", func() (fmt.Stringer, error) { return Scenarios(), nil }},
+		{"elasticity", func() (fmt.Stringer, error) { return Elasticity(), nil }},
+		{"dse", func() (fmt.Stringer, error) { return DSE(), nil }},
 	}
 }
 

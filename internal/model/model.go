@@ -262,6 +262,8 @@ func (c Config) AttentionKernel(tlp int, kvLens []int) Kernel {
 // kernel in O(1) instead of walking the batch. All per-request terms are
 // integer-valued and far below 2⁵³, so the closed form is bit-identical to
 // the per-request summation; a test pins this against AttentionKernel.
+//
+//papivet:noalloc
 func (c Config) AttentionKernelSum(tlp, sumKV, rlp int) Kernel {
 	h := float64(c.Hidden)
 	l := float64(sumKV)

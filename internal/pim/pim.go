@@ -289,6 +289,8 @@ func (d *Device) Execute(k Kernel, active int) Result {
 // weight-re-streaming penalty, so both branches constant-fold away; skipping
 // the full Breakdown construction matters on a path called once per
 // simulated iteration. A test pins bit-identical agreement with Execute.
+//
+//papivet:noalloc
 func (d *Device) ExecuteAttention(flops units.FLOPs, unique units.Bytes, active int) (units.Seconds, units.Joules, bool) {
 	if active <= 0 || active > d.Count {
 		active = d.Count

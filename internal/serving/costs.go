@@ -142,6 +142,8 @@ func (t *CostTable) bind(key string) error {
 // flags, energy model and governor, and the PU fabric. Hand-rolled with
 // strconv (no fmt varargs boxing) because it runs once per engine and
 // sweeps build engines by the dozen.
+//
+//papivet:allow unitsafety — the fingerprint serializes raw base-unit coefficients for cache identity; strconv.AppendFloat needs the bare float64s
 func costFingerprint(sys *core.System, cfg, draft model.Config) string {
 	b := make([]byte, 0, 256)
 	num := func(f float64) {
@@ -255,7 +257,7 @@ func (e *Engine) fcPricePU(n int) fcCost {
 	g := e.Sys.GPU.Execute(fcK.Flops, fcK.WeightBytes+fcK.ActivationBytes)
 	return fcCost{
 		valid:  true,
-		time:   g.Time + units.Seconds(float64(e.Sys.GPU.Spec.LaunchLatency)*(3*layers-1)),
+		time:   g.Time + e.Sys.GPU.Spec.LaunchLatency.Scale(3*layers-1),
 		energy: g.Energy,
 	}
 }
@@ -269,13 +271,13 @@ func (e *Engine) fcPricePIM(n int) fcCost {
 	p := e.Sys.FCPIM.Execute(pim.Kernel{Name: "fc", Class: pim.ClassFC, Flops: fcK.Flops, UniqueBytes: fcK.WeightBytes}, 0)
 	c := fcCost{
 		valid:     true,
-		time:      p.Time + units.Seconds(float64(e.Sys.FCPIM.KernelOverhead)*(3*layers-1)),
+		time:      p.Time + e.Sys.FCPIM.KernelOverhead.Scale(3*layers-1),
 		energy:    p.Energy.Total(),
 		throttled: p.Throttled,
 	}
-	tr := e.Sys.PULink.Send(units.Bytes(float64(fcK.ActivationBytes) / layers))
-	c.time += units.Seconds(float64(tr.Time) * layers)
-	c.linkEnergy = units.Joules(float64(tr.Energy) * layers)
+	tr := e.Sys.PULink.Send(units.Bytes(fcK.ActivationBytes.Bytes() / layers))
+	c.time += tr.Time.Scale(layers)
+	c.linkEnergy = tr.Energy.Scale(layers)
 	return c
 }
 
@@ -287,8 +289,8 @@ func (e *Engine) attnAllLayers(attnLayer model.Kernel, rlp int) (pim.Kernel, int
 	attnAll := pim.Kernel{
 		Name:        "attention",
 		Class:       pim.ClassAttention,
-		Flops:       units.FLOPs(float64(attnLayer.Flops) * layers),
-		UniqueBytes: units.Bytes(float64(attnLayer.KVBytes) * layers),
+		Flops:       attnLayer.Flops.Scale(layers),
+		UniqueBytes: attnLayer.KVBytes.Scale(layers),
 	}
 	activeDev := rlp * e.Cfg.Heads
 	if activeDev > e.Sys.AttnPIM.Count {
@@ -306,11 +308,11 @@ func (e *Engine) attnPriceFresh(attnLayer model.Kernel, rlp int) attnCost {
 	a := e.Sys.AttnPIM.Execute(attnAll, activeDev)
 	tr := e.Sys.AttnLink.Send(attnLayer.ActivationBytes)
 	return attnCost{
-		time:       a.Time + units.Seconds(float64(e.Sys.AttnPIM.KernelOverhead)*(layers-1)),
+		time:       a.Time + e.Sys.AttnPIM.KernelOverhead.Scale(layers-1),
 		energy:     a.Energy.Total(),
 		throttled:  a.Throttled,
-		commTime:   units.Seconds(float64(tr.Time) * layers),
-		commEnergy: units.Joules(float64(tr.Energy) * layers),
+		commTime:   tr.Time.Scale(layers),
+		commEnergy: tr.Energy.Scale(layers),
 	}
 }
 

@@ -180,12 +180,12 @@ type Engine struct {
 	// attnFlopsCoef/attnActTerm the per-ΣkvLen / per-request attention-kernel
 	// coefficients, and *W the idle/standby power products.
 	layersF       float64
-	attnOvh       float64
+	attnOvh       units.Seconds
 	attnFlopsCoef float64
 	attnActTerm   float64
-	gpuIdleW      float64
-	fcStandbyW    float64
-	attnStandbyW  float64
+	gpuIdleW      units.Watts
+	fcStandbyW    units.Watts
+	attnStandbyW  units.Watts
 }
 
 // traceCap bounds the per-iteration traces kept in a Result.
@@ -221,17 +221,17 @@ func New(sys *core.System, cfg model.Config, opt Options) (*Engine, error) {
 		e.otherBase += cp.DecisionCost()
 	}
 	e.layersF = float64(cfg.Layers)
-	e.attnOvh = float64(sys.AttnPIM.KernelOverhead) * (e.layersF - 1)
+	e.attnOvh = sys.AttnPIM.KernelOverhead.Scale(e.layersF - 1)
 	h := float64(cfg.Hidden)
 	e.attnFlopsCoef = 4 * float64(opt.TLP)
 	e.attnActTerm = float64(opt.TLP) * 4 * h * model.BytesPerElement
 	if sys.GPU != nil {
-		e.gpuIdleW = float64(sys.GPU.Spec.IdlePower) * float64(sys.GPU.Count)
+		e.gpuIdleW = sys.GPU.Spec.IdlePower.Scale(float64(sys.GPU.Count))
 	}
 	if sys.FCPIM != nil {
-		e.fcStandbyW = float64(sys.FCPIM.Energy.StaticW) * float64(sys.FCPIM.Count)
+		e.fcStandbyW = sys.FCPIM.Energy.StaticW.Scale(float64(sys.FCPIM.Count))
 	}
-	e.attnStandbyW = float64(sys.AttnPIM.Energy.StaticW) * float64(sys.AttnPIM.Count)
+	e.attnStandbyW = sys.AttnPIM.Energy.StaticW.Scale(float64(sys.AttnPIM.Count))
 	e.fastPath = opt.FastPath.enabled()
 	e.costs = opt.Costs
 	if e.costs == nil {
@@ -346,6 +346,8 @@ func (e *Engine) runIteration(liveReqs []*request, ev sched.Event, res *Result) 
 // floating-point value equals the reference path's (priceIteration) —
 // memoized pricing is pure, and the folded coefficients are exact-integer
 // products — which the equivalence tests pin per system, mode and TLP.
+//
+//papivet:noalloc
 func (e *Engine) runIterationFast(rlp, kvSum int, ev sched.Event, res *Result) IterationStat {
 	n := rlp * e.Opt.TLP
 
@@ -378,13 +380,13 @@ func (e *Engine) runIterationFast(rlp, kvSum int, ev sched.Event, res *Result) I
 	at, aEnergy, aThrottled := e.Sys.AttnPIM.ExecuteAttention(
 		units.FLOPs(attnFlops*e.layersF), units.Bytes(attnKV*e.layersF), activeDev)
 	res.Throttled = res.Throttled || aThrottled
-	attnTime := at + units.Seconds(e.attnOvh)
+	attnTime := at + e.attnOvh
 	res.Energy.AddSlot(energy.SlotAttnPIM, aEnergy)
 
 	// --- Communication, per layer across the attention fabric.
 	tr := e.Sys.AttnLink.Send(units.Bytes(float64(rlp) * e.attnActTerm))
-	commTime := units.Seconds(float64(tr.Time) * e.layersF)
-	res.Energy.AddSlot(energy.SlotInterconnect, units.Joules(float64(tr.Energy)*e.layersF))
+	commTime := tr.Time.Scale(e.layersF)
+	res.Energy.AddSlot(energy.SlotInterconnect, tr.Energy.Scale(e.layersF))
 
 	// --- Other: fixed overheads plus (under speculation) the memoized draft.
 	otherTime := e.otherBase
@@ -397,16 +399,16 @@ func (e *Engine) runIterationFast(rlp, kvSum int, ev sched.Event, res *Result) I
 	// --- Idle and standby energy, against the hoisted power products.
 	if e.Sys.HasGPU() {
 		if idle := iterTime - gpuBusy; idle > 0 {
-			res.Energy.AddSlot(energy.SlotGPUIdle, units.Joules(e.gpuIdleW*float64(idle)))
+			res.Energy.AddSlot(energy.SlotGPUIdle, e.gpuIdleW.Energy(idle))
 		}
 	}
 	if e.Sys.FCPIM != nil {
 		if idle := iterTime - fcTime; idle > 0 {
-			res.Energy.AddSlot(energy.SlotFCPIM, units.Joules(e.fcStandbyW*float64(idle)))
+			res.Energy.AddSlot(energy.SlotFCPIM, e.fcStandbyW.Energy(idle))
 		}
 	}
 	if idle := iterTime - attnTime; idle > 0 {
-		res.Energy.AddSlot(energy.SlotAttnPIM, units.Joules(e.attnStandbyW*float64(idle)))
+		res.Energy.AddSlot(energy.SlotAttnPIM, e.attnStandbyW.Energy(idle))
 	}
 
 	res.DecodeTime += iterTime
@@ -500,7 +502,7 @@ func (e *Engine) chargeDraft(d draftPrice, res *Result) units.Seconds {
 	} else {
 		res.Energy.Add(energy.FCPIM, d.energy)
 	}
-	serial := float64(d.per) * float64(e.Opt.TLP)
+	serial := d.per.Seconds() * float64(e.Opt.TLP)
 	return units.Seconds(serial * (1 - e.Opt.DraftOverlap))
 }
 
@@ -526,7 +528,7 @@ func (e *Engine) chargePIMStandby(iter, fcBusy, attnBusy units.Seconds, res *Res
 }
 
 func standby(d *pim.Device, span units.Seconds) units.Joules {
-	return units.Joules(float64(d.Energy.StaticW) * float64(d.Count) * float64(span))
+	return d.Energy.StaticW.Scale(float64(d.Count)).Energy(span)
 }
 
 // commitTokens applies one iteration's outcome to a request: with TLP = 1 a

@@ -248,6 +248,8 @@ func (s *Stepper) Outstanding() int { return len(s.active) + len(s.pending) }
 // It is O(1): the total is maintained incrementally on push, admission and
 // finish, since this sits on the router hot path (called per replica per
 // arrival).
+//
+//papivet:noalloc
 func (s *Stepper) KVDemand() units.Bytes { return s.kvDemandAll }
 
 // SetHorizon bounds fast-path macro-stepping: a macro-stepped Step call

@@ -80,6 +80,35 @@ func Nanoseconds(v float64) Seconds { return Seconds(v * 1e-9) }
 // PJPerByte constructs a per-byte energy from pJ/B.
 func PJPerByte(v float64) PicojoulesPerByte { return PicojoulesPerByte(v) }
 
+// Raw accessors. These are the only sanctioned way to drop a dimension: the
+// unitsafety analyzer (cmd/papivet) flags raw float64(x) casts outside this
+// package, so every place a quantity becomes a bare number is greppable by
+// method name and carries its unit in the call. Each returns the value in
+// the type's base unit.
+
+func (f FLOPs) FLOPs() float64                 { return float64(f) }
+func (b Bytes) Bytes() float64                 { return float64(b) }
+func (s Seconds) Seconds() float64             { return float64(s) }
+func (j Joules) Joules() float64               { return float64(j) }
+func (w Watts) Watts() float64                 { return float64(w) }
+func (bw BytesPerSecond) BytesPerSec() float64 { return float64(bw) }
+func (r FLOPSRate) FLOPSPerSec() float64       { return float64(r) }
+func (e PicojoulesPerByte) PJPerB() float64    { return float64(e) }
+
+// Scale multiplies a quantity by a dimensionless factor (layer counts,
+// device counts, percentages) without leaving the dimension.
+
+func (f FLOPs) Scale(k float64) FLOPs     { return FLOPs(float64(f) * k) }
+func (b Bytes) Scale(k float64) Bytes     { return Bytes(float64(b) * k) }
+func (s Seconds) Scale(k float64) Seconds { return Seconds(float64(s) * k) }
+func (j Joules) Scale(k float64) Joules   { return Joules(float64(j) * k) }
+func (w Watts) Scale(k float64) Watts     { return Watts(float64(w) * k) }
+
+// Ratio returns the dimensionless quotient of two same-unit quantities —
+// speedups, utilizations, fractions. A different-unit quotient is a new
+// dimension and must go through the typed operations (Power, Energy, Time).
+func Ratio[T ~float64](num, den T) float64 { return float64(num) / float64(den) }
+
 // Time returns the time to move b bytes at bandwidth bw.
 // A zero bandwidth yields +Inf (an unusable link), never a panic.
 func (bw BytesPerSecond) Time(b Bytes) Seconds {

@@ -150,7 +150,7 @@ func (p *DiurnalProcess) Name() string {
 
 // Rate evaluates the instantaneous arrival rate at t.
 func (p *DiurnalProcess) Rate(t units.Seconds) float64 {
-	return p.Base * (1 + p.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(p.Period)))
+	return p.Base * (1 + p.Amplitude*math.Sin(2*math.Pi*t.Seconds()/p.Period.Seconds()))
 }
 
 // NextAfter thins a peak-rate Poisson stream down to the sinusoidal curve.

@@ -29,7 +29,7 @@ type ThinkTimeDist struct {
 
 // Sample draws one think time.
 func (d ThinkTimeDist) Sample(rng *rand.Rand) units.Seconds {
-	v := units.Seconds(math.Exp(math.Log(float64(d.Median)) + d.Sigma*rng.NormFloat64()))
+	v := units.Seconds(math.Exp(math.Log(d.Median.Seconds()) + d.Sigma*rng.NormFloat64()))
 	if v < d.Min {
 		v = d.Min
 	}

@@ -45,7 +45,7 @@ func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
 	t := Trace{Name: name, Scenario: scenario, Seed: seed}
 	t.Requests = make([]TraceRequest, len(reqs))
 	for i, r := range reqs {
-		arr := float64(r.Arrival)
+		arr := r.Arrival.Seconds()
 		if arr < 0 {
 			arr = 0
 		}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# lint.sh — run papivet, the repo's own static-analysis suite, over the
+# whole module (see docs/ANALYSIS.md). CI's analysis job runs exactly this;
+# run it locally before sending a change:
+#
+#   scripts/lint.sh                # analyze ./...
+#   scripts/lint.sh -waivers      # audit every //papivet: directive instead
+#
+# Exits 0 on a clean tree, 2 if there are findings, 1 on load errors.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/papivet "$@" ./...
