@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/kv"
 )
 
 func BenchmarkFig02Roofline(b *testing.B) {
@@ -203,4 +204,45 @@ func BenchmarkScenarios(b *testing.B) {
 		r = experiments.Scenarios()
 	}
 	b.ReportMetric(float64(len(r.Cells)), "cells")
+}
+
+// BenchmarkKVBlockStore drives the block-level KV cache through a
+// steady-state serving cycle — admit with prefix adoption, per-token decode
+// growth, commit back to the prefix inventory — under enough pressure that
+// the tiers move. Allocation counts here are the hot-path discipline the
+// noalloc analyzer pins: steady-state store operations must not allocate
+// beyond the per-request lease itself.
+func BenchmarkKVBlockStore(b *testing.B) {
+	const blockTokens = 32
+	store, err := kv.NewStore(kv.Options{BlockTokens: blockTokens, Sharing: true, ColdFactor: 1},
+		96, Bytes(blockTokens*1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	adopted := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 8 requests over 4 shared prefix groups: later requests adopt the
+		// blocks earlier ones published, evicting idle state as they grow.
+		for r := 0; r < 8; r++ {
+			prefix := 256 + 64*(r%4)
+			max := prefix + 128
+			l := store.NewLease(int64(1+r%4), int64(r), prefix, max, false)
+			if !store.CanAdmit(store.PlanAdmit(l, prefix)) {
+				b.Fatal("admission plan exceeded the hot tier")
+			}
+			c, err := store.Admit(l, prefix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			adopted += c.SharedTokens
+			for tok := prefix + 1; tok <= max; tok++ {
+				if err := store.Extend(l, tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+			store.Commit(l)
+		}
+	}
+	b.ReportMetric(float64(adopted)/float64(b.N), "adopted-tok/op")
 }

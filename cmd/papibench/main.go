@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse,kvcache)")
 	designArg := flag.String("design", "", "inspect one hardware design (registry name or spec .json file): validate, print its spec and derived capacities, then exit")
 	listDesigns := flag.Bool("list-designs", false, "list the named hardware designs in the registry and exit")
 	fastpath := flag.String("fastpath", "on", "decode-loop fast path: on (memoized cost tables + macro-stepping) or off (reference path); both produce byte-identical output")

@@ -23,6 +23,7 @@
 //	papiserve -trace chat.json -design "PIM-only PAPI"
 //	papiserve -scenario tiered-diurnal -autoscale 1:4 -requests 240
 //	papiserve -rate 30 -classes 0.4 -replicas 2 -requests 96
+//	papiserve -scenario chat-multiturn -kv-blocks 32 -kv-cold 4 -requests 48
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/serving"
 	"github.com/papi-sim/papi/internal/units"
@@ -62,6 +64,8 @@ func main() {
 		traceOut  = flag.String("save-trace", "", "export the run's realised arrival stream as a trace file")
 		autoscale = flag.String("autoscale", "", `elastic fleet bounds "min:max": scale replicas with load instead of static provisioning (-replicas is the initial size)`)
 		classes   = flag.Float64("classes", 0, "fraction of generated requests tagged batch-class (preemptible); scenarios and traces carry their own classes")
+		kvBlocks  = flag.Int("kv-blocks", 0, "block-level KV cache: tokens per block, prefix sharing on (0 = plain byte-ledger accounting)")
+		kvCold    = flag.Float64("kv-cold", 4, "with -kv-blocks: cold-tier capacity as a multiple of the hot attention pool (negative disables the tier)")
 	)
 	flag.Parse()
 
@@ -78,7 +82,7 @@ func main() {
 		traceIn: *traceIn, traceOut: *traceOut, autoscale: *autoscale,
 		replicas: *replicas, requests: *requests, maxBatch: *maxBatch,
 		spec: *spec, seed: *seed, rate: *rate, sloMS: *sloMS, target: *target,
-		classes: *classes,
+		classes: *classes, kvBlocks: *kvBlocks, kvCold: *kvCold,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
@@ -89,9 +93,9 @@ type options struct {
 	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
 	autoscale                                                                  string
 
-	replicas, requests, maxBatch, spec int
-	seed                               int64
-	rate, sloMS, target, classes       float64
+	replicas, requests, maxBatch, spec, kvBlocks int
+	seed                                         int64
+	rate, sloMS, target, classes, kvCold         float64
 }
 
 func run(o options) error {
@@ -149,8 +153,14 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if o.kvBlocks < 0 {
+		return fmt.Errorf("-kv-blocks %d is negative", o.kvBlocks)
+	}
 	opt := serving.DefaultOptions(o.spec)
 	opt.Seed = o.seed
+	if o.kvBlocks > 0 {
+		opt.KV = &kv.Options{BlockTokens: o.kvBlocks, Sharing: true, ColdFactor: o.kvCold}
+	}
 	c, err := cluster.NewFromSpecs(specs, cfg, cluster.Options{
 		Replicas:  o.replicas,
 		MaxBatch:  o.maxBatch,

@@ -16,6 +16,7 @@ var DeterministicPackages = []string{
 	"/internal/sim",
 	"/internal/sched",
 	"/internal/serving",
+	"/internal/kv",
 	"/internal/cluster",
 	"/internal/workload",
 	"/internal/experiments",

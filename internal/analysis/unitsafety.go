@@ -16,6 +16,7 @@ var UnitSafePackages = []string{
 	"/internal/sim",
 	"/internal/sched",
 	"/internal/serving",
+	"/internal/kv",
 	"/internal/cluster",
 	"/internal/workload",
 	"/internal/experiments",

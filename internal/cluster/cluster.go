@@ -629,10 +629,16 @@ type convState struct {
 // turn arrives think-time after the previous answer completes, carrying the
 // full grown context (all prior turns' inputs and outputs plus the new
 // prompt tokens) back to the same replica, where its KV footprint and
-// attention cost reflect the accumulated history. Re-prefilling that history
-// is a modelling simplification — a production engine would reuse the cached
-// KV — so multi-turn prefill costs are an upper bound; docs/SCENARIOS.md
-// records this. RunPlan may be called once per Cluster, in place of Run.
+// attention cost reflect the accumulated history. Every turn is tagged with
+// the conversation's prefix group — negative IDs, so a workload generator's
+// positive groups can never collide — and each follow-up declares the
+// carried context as its shared prefix. With the block-level KV cache
+// sharing enabled (Options.Serving.KV), the replica holding the
+// conversation adopts those blocks instead of re-prefilling them, and the
+// carried bytes are not double-counted against the replica's KV headroom;
+// without it, the full history is re-prefilled each turn — an upper bound
+// docs/SCENARIOS.md records. RunPlan may be called once per Cluster, in
+// place of Run.
 func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 	if c.ran {
 		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
@@ -682,6 +688,8 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 			Arrival:      rep.stepper.Now() + turn.Think,
 			Conversation: st.conv.ID,
 			Turn:         st.next + 1,
+			PrefixGroup:  -(int64(st.conv.ID) + 1),
+			PrefixLen:    req.SeqLen(),
 		}
 		st.next++
 		byReq[follow.ID] = st
@@ -714,6 +722,7 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 			Arrival:      st.conv.Arrival,
 			Conversation: st.conv.ID,
 			Turn:         1,
+			PrefixGroup:  -(int64(st.conv.ID) + 1),
 		}
 		st.next = 1
 		byReq[first.ID] = st

@@ -35,6 +35,7 @@ func Figures() []Figure {
 		{"scenarios", func() (fmt.Stringer, error) { return Scenarios(), nil }},
 		{"elasticity", func() (fmt.Stringer, error) { return Elasticity(), nil }},
 		{"dse", func() (fmt.Stringer, error) { return DSE(), nil }},
+		{"kvcache", func() (fmt.Stringer, error) { return KVCache(), nil }},
 	}
 }
 

@@ -34,6 +34,7 @@ func goldenFigures() map[string]func() any {
 		"scenarios":  func() any { return Scenarios() },
 		"elasticity": func() any { return Elasticity() },
 		"dse":        func() any { return DSE() },
+		"kvcache":    func() any { return KVCache() },
 	}
 }
 

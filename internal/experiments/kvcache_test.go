@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// kvcacheCell pulls one (scenario, config) cell out of the figure, failing
+// the test if the sweep no longer produces it.
+func kvcacheCell(t *testing.T, r KVCacheResult, scenario, config string) KVCacheCell {
+	t.Helper()
+	for _, c := range r.Cells {
+		if c.Scenario == scenario && c.Config == config {
+			return c
+		}
+	}
+	t.Fatalf("kvcache figure has no cell %s/%s", scenario, config)
+	return KVCacheCell{}
+}
+
+// TestKVCacheFigureAcceptance asserts the headline claims of the kvcache
+// figure — not exact numbers (the golden fixture pins those) but the
+// directional properties the figure exists to demonstrate: on both
+// caching-sensitive scenarios, prefix sharing strictly cuts the re-prefill
+// tax AND the decode tail, the baseline shares nothing, the tiers actually
+// move state, and the cold-tier split matters under long-context pressure.
+func TestKVCacheFigureAcceptance(t *testing.T) {
+	r := KVCache()
+	if want := 2 * len(DefaultKVCacheConfigs()); len(r.Cells) != want {
+		t.Fatalf("kvcache figure has %d cells, want %d", len(r.Cells), want)
+	}
+
+	for _, scenario := range []string{workload.ScenarioChatMultiTurn, workload.ScenarioLongCtxHeavy} {
+		off := kvcacheCell(t, r, scenario, "sharing-off")
+		on := kvcacheCell(t, r, scenario, "b32/cold4x")
+
+		if off.SharedTokens != 0 || off.Hits != 0 || off.PromotedBlocks != 0 ||
+			off.DemotedBlocks != 0 || off.EvictedBlocks != 0 {
+			t.Errorf("%s: sharing-off cell reports cache activity: %+v", scenario, off)
+		}
+		if on.SharedTokens == 0 || on.Hits == 0 {
+			t.Errorf("%s: sharing cell adopted nothing (shared=%d hits=%d)",
+				scenario, on.SharedTokens, on.Hits)
+		}
+		if on.HitRate <= 0 || on.HitRate > 1 {
+			t.Errorf("%s: hit rate %v outside (0, 1]", scenario, on.HitRate)
+		}
+		if on.ReprefillTokens >= off.ReprefillTokens {
+			t.Errorf("%s: sharing did not cut the re-prefill tax: on=%d off=%d",
+				scenario, on.ReprefillTokens, off.ReprefillTokens)
+		}
+		if on.PrefillTokens >= off.PrefillTokens {
+			t.Errorf("%s: sharing did not cut prefill work: on=%d off=%d",
+				scenario, on.PrefillTokens, off.PrefillTokens)
+		}
+		if on.TPOTP99 >= off.TPOTP99 {
+			t.Errorf("%s: sharing did not improve the decode tail: TPOT p99 on=%v off=%v",
+				scenario, on.TPOTP99, off.TPOTP99)
+		}
+		if on.Requests != off.Requests || on.Tokens != off.Tokens {
+			t.Errorf("%s: sharing changed served work (on %d req/%d tok, off %d req/%d tok)",
+				scenario, on.Requests, on.Tokens, off.Requests, off.Tokens)
+		}
+	}
+
+	// The constrained pool must force real tier motion in the long-context
+	// scenario: demotions, demand promotions, evictions, and host-link bytes.
+	lc := kvcacheCell(t, r, workload.ScenarioLongCtxHeavy, "b32/cold4x")
+	if lc.DemotedBlocks == 0 || lc.PromotedBlocks == 0 || lc.EvictedBlocks == 0 {
+		t.Errorf("longctx b32/cold4x shows no tier pressure: promoted=%d demoted=%d evicted=%d",
+			lc.PromotedBlocks, lc.DemotedBlocks, lc.EvictedBlocks)
+	}
+	if lc.TransferBytes == 0 || lc.TransferTime == 0 {
+		t.Errorf("longctx b32/cold4x moved tiers for free: bytes=%v time=%v",
+			lc.TransferBytes, lc.TransferTime)
+	}
+
+	// The cold-tier split is a real axis, not a dead knob: starving the cold
+	// tier (0.25×) must change outcomes vs the roomy 4× split once demotion
+	// volume outruns it.
+	cramped := kvcacheCell(t, r, workload.ScenarioLongCtxHeavy, "b32/cold0.25x")
+	roomy := kvcacheCell(t, r, workload.ScenarioLongCtxHeavy, "b32/cold4x")
+	if cramped.Hits == roomy.Hits && cramped.EvictedBlocks == roomy.EvictedBlocks &&
+		cramped.PromotedBlocks == roomy.PromotedBlocks {
+		t.Errorf("longctx cold-tier split changed nothing: cramped %+v vs roomy %+v", cramped, roomy)
+	}
+	if cramped.Hits >= roomy.Hits {
+		t.Errorf("starving the cold tier did not cost hits: cold0.25x=%d cold4x=%d",
+			cramped.Hits, roomy.Hits)
+	}
+}

@@ -1,0 +1,350 @@
+package kv
+
+import (
+	"testing"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// blockMiB is the per-block footprint every test store uses.
+const blockMiB = units.Bytes(units.MiB)
+
+// testStore builds a small sharing-enabled store: 8 hot blocks of 8 tokens,
+// cold tier 2× hot, LRU.
+func testStore(t *testing.T, opt Options) *Store {
+	t.Helper()
+	s, err := NewStore(opt, 8, blockMiB)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func shareOpt() Options {
+	return Options{BlockTokens: 8, Sharing: true, ColdFactor: 2}
+}
+
+func mustAdmit(t *testing.T, s *Store, l *Lease, ctx int) Cost {
+	t.Helper()
+	p := s.PlanAdmit(l, ctx)
+	if !s.CanAdmit(p) {
+		t.Fatalf("CanAdmit(%+v) = false with committed %d of %d", p, s.CommittedBlocks(), s.HotBlocks())
+	}
+	c, err := s.Admit(l, ctx)
+	if err != nil {
+		t.Fatalf("Admit(%d): %v", ctx, err)
+	}
+	return c
+}
+
+func checkInv(t *testing.T, s *Store, active ...*Lease) {
+	t.Helper()
+	if err := s.CheckInvariants(active); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyRefAware} {
+		got, err := PolicyByName(p.String())
+		if err != nil || got != p {
+			t.Fatalf("PolicyByName(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := PolicyByName("mru"); err == nil {
+		t.Fatal("PolicyByName accepted an unknown policy")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{BlockTokens: -1}).Validate(); err == nil {
+		t.Fatal("negative block size accepted")
+	}
+	if err := (Options{Policy: Policy(9)}).Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+}
+
+func TestNewStoreErrors(t *testing.T) {
+	if _, err := NewStore(Options{}, 0, blockMiB); err == nil {
+		t.Fatal("zero hot blocks accepted")
+	}
+	if _, err := NewStore(Options{}, 4, 0); err == nil {
+		t.Fatal("zero block footprint accepted")
+	}
+}
+
+// TestPrefixAdoption: a second lease in the same group adopts the sealed
+// shared-prefix blocks of the first instead of re-prefilling them.
+func TestPrefixAdoption(t *testing.T) {
+	s := testStore(t, shareOpt())
+	// 20 tokens with a 16-token shared prefix: blocks 0,1 canonical
+	// (sealed at 8 and 16), block 2 a private tail.
+	a := s.NewLease(7, 1, 16, 24, false)
+	ca := mustAdmit(t, s, a, 20)
+	if ca.SharedTokens != 0 || ca.NewBlocks != 3 {
+		t.Fatalf("first admission shared %d new %d, want 0/3", ca.SharedTokens, ca.NewBlocks)
+	}
+	checkInv(t, s, a)
+
+	b := s.NewLease(7, 2, 16, 24, false)
+	cb := mustAdmit(t, s, b, 20)
+	if cb.SharedTokens != 16 || cb.ReusedBlocks != 2 || cb.NewBlocks != 1 {
+		t.Fatalf("second admission shared %d reused %d new %d, want 16/2/1",
+			cb.SharedTokens, cb.ReusedBlocks, cb.NewBlocks)
+	}
+	checkInv(t, s, a, b)
+
+	// A lease from another group shares nothing.
+	c := s.NewLease(9, 3, 16, 24, false)
+	if p := s.PlanAdmit(c, 20); p.Run != 0 {
+		t.Fatalf("cross-group plan found run %d, want 0", p.Run)
+	}
+
+	s.Commit(a)
+	s.Commit(b)
+	checkInv(t, s)
+	// Canonical blocks stay resident: a third group member still hits.
+	d := s.NewLease(7, 4, 16, 24, false)
+	if p := s.PlanAdmit(d, 20); p.Run != 2 || p.AdoptIdle != 2 {
+		t.Fatalf("post-commit plan run %d adoptIdle %d, want 2/2", p.Run, p.AdoptIdle)
+	}
+}
+
+// TestConversationCarry: a grows lease seals its entire context (input and
+// generated) canonically, so the follow-up turn adopts all full blocks.
+func TestConversationCarry(t *testing.T) {
+	s := testStore(t, shareOpt())
+	turn1 := s.NewLease(-3, 1, 0, 24, true)
+	mustAdmit(t, s, turn1, 10) // prefill 10
+	if err := s.Extend(turn1, 24); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	checkInv(t, s, turn1)
+	s.Commit(turn1)
+	checkInv(t, s)
+
+	// Follow-up carries the 24 tokens and adds 8 of input: 32-token
+	// context, the carried 24 ≡ blocks 0..2 all resident.
+	turn2 := s.NewLease(-3, 2, 24, 40, true)
+	c2 := mustAdmit(t, s, turn2, 32)
+	if c2.SharedTokens != 24 {
+		t.Fatalf("follow-up shared %d tokens, want 24", c2.SharedTokens)
+	}
+	checkInv(t, s, turn2)
+}
+
+// TestParkResume: preemption demotes to the cold tier over the link;
+// resumption promotes back and re-prefills only the dropped tail.
+func TestParkResume(t *testing.T) {
+	s := testStore(t, shareOpt())
+	l := s.NewLease(-1, 1, 0, 24, true)
+	mustAdmit(t, s, l, 10)
+	if err := s.Extend(l, 20); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	checkInv(t, s, l)
+
+	pc := s.Park(l)
+	if !l.Parked() {
+		t.Fatal("lease not parked")
+	}
+	// Two sealed blocks demote; the 4-token tail is dropped.
+	if pc.DemotedBlocks != 2 || pc.TransferBytes != 2*blockMiB {
+		t.Fatalf("park demoted %d blocks, %v transferred; want 2, 2MiB", pc.DemotedBlocks, pc.TransferBytes)
+	}
+	hot, cold := s.TierBytes()
+	if hot != 0 || cold != 2*blockMiB {
+		t.Fatalf("post-park occupancy hot %v cold %v, want 0/2MiB", hot, cold)
+	}
+	checkInv(t, s)
+
+	rc, err := s.Admit(l, 20)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rc.PromotedBlocks != 2 || rc.SharedTokens != 16 || rc.NewBlocks != 1 {
+		t.Fatalf("resume promoted %d shared %d new %d, want 2/16/1",
+			rc.PromotedBlocks, rc.SharedTokens, rc.NewBlocks)
+	}
+	if rc.TransferTime <= 0 {
+		t.Fatal("promotion charged no transfer time")
+	}
+	checkInv(t, s, l)
+}
+
+// TestEvictionRespectsRefs: with every hot slot committed, admission is
+// refused rather than evicting referenced state.
+func TestEvictionRespectsRefs(t *testing.T) {
+	s := testStore(t, shareOpt())
+	a := s.NewLease(0, 1, 0, 32, false) // 4 blocks held + 0 growth at full
+	mustAdmit(t, s, a, 32)
+	b := s.NewLease(0, 2, 0, 32, false)
+	mustAdmit(t, s, b, 32)
+	if s.CommittedBlocks() != 8 {
+		t.Fatalf("committed %d, want 8", s.CommittedBlocks())
+	}
+	c := s.NewLease(0, 3, 0, 8, false)
+	if s.CanAdmit(s.PlanAdmit(c, 8)) {
+		t.Fatal("admission accepted with zero free commitment")
+	}
+	if s.ParkGain(a) != 4 {
+		t.Fatalf("ParkGain = %d, want 4", s.ParkGain(a))
+	}
+	s.Park(a)
+	if !s.CanAdmit(s.PlanAdmit(c, 8)) {
+		t.Fatal("admission still refused after park")
+	}
+	checkInv(t, s, b)
+}
+
+// TestShadowMode: with sharing off the store keeps its ledger but never
+// indexes, transfers, or retains — the behavioural surface of the
+// pre-block engine.
+func TestShadowMode(t *testing.T) {
+	s := testStore(t, Options{BlockTokens: 8})
+	a := s.NewLease(7, 1, 16, 24, true)
+	ca := mustAdmit(t, s, a, 24)
+	if ca.SharedTokens != 0 {
+		t.Fatal("shadow mode shared tokens")
+	}
+	s.Commit(a)
+	b := s.NewLease(7, 2, 16, 24, true)
+	if p := s.PlanAdmit(b, 24); p.Run != 0 {
+		t.Fatal("shadow mode index hit")
+	}
+	mustAdmit(t, s, b, 24)
+	if pc := s.Park(b); pc.TransferBytes != 0 || pc.DemotedBlocks != 0 {
+		t.Fatal("shadow mode park paid a transfer")
+	}
+	hot, cold := s.TierBytes()
+	if hot != 0 || cold != 0 {
+		t.Fatalf("shadow mode retained state: hot %v cold %v", hot, cold)
+	}
+	st := s.Stats()
+	if st.Lookups != 0 || st.Hits != 0 || st.TransferBytes != 0 {
+		t.Fatalf("shadow mode stats moved: %+v", st)
+	}
+	checkInv(t, s)
+}
+
+// TestPolicies: ref-aware eviction retires never-shared idle blocks before
+// previously-shared ones; LRU retires strictly by idle age.
+func TestPolicies(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyRefAware} {
+		opt := shareOpt()
+		opt.Policy = pol
+		opt.ColdFactor = -1 // no cold tier: evictions drop, easy to observe
+		s := testStore(t, opt)
+
+		// Fill all 8 hot slots with idle canonical blocks: group 1's two
+		// blocks go idle first, then group 2's two, then group 3 holds 4.
+		g1 := s.NewLease(1, 1, 16, 16, false)
+		mustAdmit(t, s, g1, 16)
+		g2 := s.NewLease(2, 2, 16, 16, false)
+		mustAdmit(t, s, g2, 16)
+		s.Commit(g1)
+		s.Commit(g2)
+		// Re-touch group 1 so its blocks are marked ever-shared.
+		r1 := s.NewLease(1, 3, 16, 16, false)
+		mustAdmit(t, s, r1, 16)
+		s.Commit(r1)
+		g3 := s.NewLease(3, 4, 16, 32, false)
+		mustAdmit(t, s, g3, 32)
+		checkInv(t, s, g3)
+
+		// 4 idle blocks remain: group 1 (ever-shared, most recently
+		// idled) and group 2 (never shared, idled earlier). A 2-block
+		// admission must evict two.
+		v := s.NewLease(4, 5, 0, 16, false)
+		mustAdmit(t, s, v, 16)
+		checkInv(t, s, g3, v)
+
+		p1 := s.PlanAdmit(s.NewLease(1, 6, 16, 16, false), 16)
+		p2 := s.PlanAdmit(s.NewLease(2, 7, 16, 16, false), 16)
+		switch pol {
+		case PolicyLRU:
+			// Oldest idles are group 2's: they died, group 1 survives.
+			if p1.Run != 2 || p2.Run != 0 {
+				t.Fatalf("lru: group1 run %d group2 run %d, want 2/0", p1.Run, p2.Run)
+			}
+		case PolicyRefAware:
+			// Never-shared group 2 dies first even though group 1's
+			// blocks went idle more recently.
+			if p1.Run != 2 || p2.Run != 0 {
+				t.Fatalf("ref-aware: group1 run %d group2 run %d, want 2/0", p1.Run, p2.Run)
+			}
+		}
+	}
+}
+
+// TestLRUEvictsOldest distinguishes LRU from ref-aware: the ever-shared
+// blocks are the OLDER idles, so LRU evicts them while ref-aware spares
+// them and takes the never-shared younger ones.
+func TestLRUEvictsOldest(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyRefAware} {
+		opt := shareOpt()
+		opt.Policy = pol
+		opt.ColdFactor = -1
+		s := testStore(t, opt)
+
+		shared := s.NewLease(1, 1, 16, 16, false)
+		mustAdmit(t, s, shared, 16)
+		re := s.NewLease(1, 2, 16, 16, false)
+		mustAdmit(t, s, re, 16) // marks group 1 ever-shared
+		s.Commit(shared)
+		s.Commit(re) // group 1 idle (ever-shared), stamps 1-2
+		private := s.NewLease(2, 3, 16, 16, false)
+		mustAdmit(t, s, private, 16)
+		s.Commit(private) // group 2 idle (never shared), younger stamps
+		hold := s.NewLease(3, 4, 0, 32, false)
+		mustAdmit(t, s, hold, 32) // pin the other 4 slots
+
+		v := s.NewLease(4, 5, 0, 16, false)
+		mustAdmit(t, s, v, 16) // forces two evictions
+		checkInv(t, s, hold, v)
+
+		p1 := s.PlanAdmit(s.NewLease(1, 6, 16, 16, false), 16)
+		p2 := s.PlanAdmit(s.NewLease(2, 7, 16, 16, false), 16)
+		switch pol {
+		case PolicyLRU:
+			if p1.Run != 0 || p2.Run != 2 {
+				t.Fatalf("lru: group1 run %d group2 run %d, want 0/2", p1.Run, p2.Run)
+			}
+		case PolicyRefAware:
+			if p1.Run != 2 || p2.Run != 0 {
+				t.Fatalf("ref-aware: group1 run %d group2 run %d, want 2/0", p1.Run, p2.Run)
+			}
+		}
+	}
+}
+
+func TestResidentChainTokens(t *testing.T) {
+	s := testStore(t, shareOpt())
+	l := s.NewLease(-5, 1, 0, 24, true)
+	mustAdmit(t, s, l, 20)
+	if got := s.ResidentChainTokens(-5, 20); got != 16 {
+		t.Fatalf("ResidentChainTokens = %d, want 16 (two sealed blocks)", got)
+	}
+	if got := s.ResidentChainTokens(-6, 20); got != 0 {
+		t.Fatalf("foreign group resident %d, want 0", got)
+	}
+	s.Park(l)
+	// Parked state is cold but still resident and indexed.
+	if got := s.ResidentChainTokens(-5, 20); got != 16 {
+		t.Fatalf("post-park ResidentChainTokens = %d, want 16", got)
+	}
+}
+
+func TestFitsAlone(t *testing.T) {
+	s := testStore(t, shareOpt())
+	if !s.FitsAlone(64) {
+		t.Fatal("64 tokens (8 blocks) should fit an 8-block tier")
+	}
+	if s.FitsAlone(65) {
+		t.Fatal("65 tokens (9 blocks) cannot fit an 8-block tier")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/energy"
+	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
 	"github.com/papi-sim/papi/internal/sched"
@@ -56,6 +57,15 @@ type Options struct {
 	// the same (system design, model, draft) combination — cluster replicas,
 	// sweep cells. Nil gives the engine a private table.
 	Costs *CostTable
+	// KV selects block-level KV-cache management (internal/kv): fixed-size
+	// refcounted blocks, a prefix index that lets requests adopt committed
+	// blocks instead of re-prefilling, and a hot/cold tier pair whose
+	// promotion/demotion pays explicit transfer cost. Nil keeps the legacy
+	// per-request length-counter accounting. With KV set but KV.Sharing
+	// false the store runs in shadow mode: the block ledger is maintained
+	// (and auditable) but every Result stays bit-identical to KV = nil,
+	// which the equivalence tests pin.
+	KV *kv.Options
 }
 
 // DefaultOptions returns the configuration used by the figure reproductions.
@@ -117,6 +127,16 @@ type Result struct {
 	Iterations int
 	Tokens     int // output tokens generated
 
+	// PrefillTokens counts prompt tokens actually prefilled (after any
+	// prefix-cache sharing); ReprefillTokens is the re-prefill tax within
+	// that: prefilled tokens whose KV state had been computed before — a
+	// preempted request's regrown context, a follow-up turn's carried
+	// conversation, a shared document prefix — and that a sharing cache
+	// could have adopted instead. Both are maintained in every mode, so
+	// the sharing-off baseline exposes exactly the tax sharing removes.
+	PrefillTokens   int `json:",omitempty"`
+	ReprefillTokens int `json:",omitempty"`
+
 	Breakdown   TimeBreakdown
 	Energy      energy.Ledger
 	Reschedules int
@@ -137,6 +157,11 @@ type Result struct {
 	IterStats []IterationStat
 	// Requests carries per-request latency metrics (TTFT, TPOT, completion).
 	Requests []RequestMetrics
+
+	// KV is the block store's cumulative activity (hit rate, shared tokens,
+	// tier transfers); set only when Options.KV enables sharing, so
+	// sharing-off Results stay deep-equal to the legacy engine's.
+	KV *kv.Stats `json:",omitempty"`
 }
 
 // TotalTime returns the makespan: prefill, decode, and arrival gaps.
@@ -259,6 +284,13 @@ type request struct {
 	// rm caches this request's metrics entry so the per-iteration observe
 	// path skips the tracker's by-ID map (see metricsTracker.entry).
 	rm *RequestMetrics
+	// lease is the request's hold on the block store (nil without
+	// Options.KV); kvBytes is its cached worst-case KV footprint — the
+	// demand-signal contribution, fixed at creation (with the resident
+	// shared prefix already discounted when sharing is on) so every
+	// incremental ± returns the running sums to zero exactly.
+	lease   *kv.Lease
+	kvBytes units.Bytes
 }
 
 // contextLen is the KV length the request occupies on (re-)admission: its

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/papi-sim/papi/internal/energy"
+	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/sched"
 	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
@@ -87,6 +88,15 @@ type Stepper struct {
 	pendInteractive, pendBatch int
 	actInteractive, actBatch   int
 
+	// kvStore is the block-level KV cache (nil without Options.KV); kvShare
+	// is true when its prefix index and cold tier are live — admission then
+	// runs on block commitments (see kvFits) instead of the byte ledger,
+	// and preemption parks leases instead of discarding their state. With
+	// kvShare false the store shadows the byte ledger without changing any
+	// decision, keeping Results bit-identical to kvStore = nil.
+	kvStore *kv.Store
+	kvShare bool
+
 	// horizon bounds fast-path macro-stepping (see SetHorizon); +Inf when the
 	// stepper owns its whole timeline.
 	horizon units.Seconds
@@ -116,20 +126,37 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 		tracker:  newMetricsTracker(),
 		horizon:  units.Seconds(math.Inf(1)),
 	}
-	inputs := make([]int, len(reqs))
-	for i, r := range reqs {
+	if err := s.initKV(len(reqs)); err != nil {
+		return nil, err
+	}
+	inputs := make([]int, 0, len(reqs))
+	for _, r := range reqs {
 		if r.InputLen <= 0 || r.OutputLen <= 0 {
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
-		rr := &request{Request: r, readyAt: r.Arrival}
+		rr := s.newRequest(r)
 		s.all = append(s.all, rr)
 		s.active = append(s.active, rr)
 		s.countClass(r.Class, &s.actInteractive, &s.actBatch, +1)
-		inputs[i] = r.InputLen
 		s.kvSum += r.InputLen
-		kb := e.Cfg.KVBytes(r.SeqLen())
-		s.kvDemandAll += kb
-		s.kvDemandActive += kb
+		s.kvDemandAll += rr.kvBytes
+		s.kvDemandActive += rr.kvBytes
+		// A static batch is admitted whole under the legacy byte check
+		// (already enforced above), so the shadow/sharing store is sized
+		// never to refuse it; sharing may still shorten prefill when batch
+		// members share a prefix.
+		shared := 0
+		if s.kvStore != nil {
+			c, err := s.kvStore.Admit(rr.lease, r.InputLen)
+			if err != nil {
+				return nil, err
+			}
+			shared = c.SharedTokens
+		}
+		if in := r.InputLen - shared; in > 0 {
+			inputs = append(inputs, in)
+		}
+		s.notePrefill(rr, r.InputLen, shared)
 		if r.OutputLen > s.traceHint {
 			s.traceHint = r.OutputLen
 		}
@@ -138,7 +165,9 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 	// Prefill (§2.1): all input tokens processed at once. Compute-bound, so
 	// it runs on the GPU where one exists; PIM-only designs pay for it on
 	// their PIM units (§7.4).
-	s.res.PrefillTime = e.runPrefill(inputs, &s.res)
+	if len(inputs) > 0 {
+		s.res.PrefillTime = e.runPrefill(inputs, &s.res)
+	}
 	s.clock = s.res.PrefillTime
 
 	scheduler, err := sched.NewScheduler(e.Sys.Policy, len(reqs), e.Opt.TLP)
@@ -167,20 +196,102 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 		tracker:  newMetricsTracker(),
 		horizon:  units.Seconds(math.Inf(1)),
 	}
+	if err := s.initKV(0); err != nil {
+		return nil, err
+	}
 	for _, r := range reqs {
 		if r.InputLen <= 0 || r.OutputLen <= 0 {
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
-		rr := &request{Request: r, readyAt: r.Arrival}
+		rr := s.newRequest(r)
 		s.all = append(s.all, rr)
 		s.pending = append(s.pending, rr)
 		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
-		s.kvDemandAll += e.Cfg.KVBytes(r.SeqLen())
+		s.kvDemandAll += rr.kvBytes
 	}
 	sort.SliceStable(s.pending, func(i, j int) bool {
 		return s.pending[i].readyAt < s.pending[j].readyAt
 	})
 	return s, nil
+}
+
+// initKV builds the block store when Options.KV asks for one. A sharing
+// store's hot tier is the attention pool's capacity in whole blocks — the
+// real constraint block admission enforces. A shadow store (sharing off),
+// or any static batch (whose admission must stay the legacy whole-batch
+// byte check), instead gets the byte capacity rounded up plus one block of
+// partial-tail slack per concurrent request, so block bookkeeping can never
+// refuse an admission the byte ledger granted. staticN is the batch size
+// for a static stepper, 0 for a stream.
+func (s *Stepper) initKV(staticN int) error {
+	if s.eng.Opt.KV == nil {
+		return nil
+	}
+	opt := s.eng.Opt.KV.Resolved()
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	blockBytes := s.eng.Cfg.KVBytes(opt.BlockTokens)
+	capBytes := s.eng.Sys.KVCapacity()
+	var hot int
+	if opt.Sharing && staticN == 0 {
+		hot = int(capBytes.Bytes() / blockBytes.Bytes())
+		if hot < 1 {
+			return fmt.Errorf("serving: attention pool %v holds no %d-token KV block (%v)",
+				capBytes, opt.BlockTokens, blockBytes)
+		}
+	} else {
+		slack := staticN
+		if slack == 0 {
+			slack = s.maxBatch
+		}
+		hot = int(math.Ceil(capBytes.Bytes()/blockBytes.Bytes())) + slack
+	}
+	store, err := kv.NewStore(opt, hot, blockBytes)
+	if err != nil {
+		return err
+	}
+	s.kvStore = store
+	s.kvShare = opt.Sharing
+	return nil
+}
+
+// newRequest wraps an incoming request with its lease and cached KV
+// footprint. The footprint is the worst-case byte demand the request adds
+// to the fleet signal; with sharing on, the part of its declared prefix
+// already resident in the store is discounted at this instant — those
+// tokens will be adopted, not recomputed, and counting them again would
+// double-bill headroom (the chat-multiturn routing fix this PR pins).
+func (s *Stepper) newRequest(r workload.Request) *request {
+	rr := &request{Request: r, readyAt: r.Arrival}
+	rr.kvBytes = s.eng.Cfg.KVBytes(r.SeqLen())
+	if s.kvStore != nil {
+		rr.lease = s.kvStore.NewLease(r.PrefixGroup, int64(r.ID), r.PrefixLen, r.SeqLen(), r.Turn > 0)
+		if s.kvShare && r.PrefixGroup != 0 {
+			if resident := s.kvStore.ResidentChainTokens(r.PrefixGroup, r.PrefixLen); resident > 0 {
+				rr.kvBytes -= s.eng.Cfg.KVBytes(resident)
+			}
+		}
+	}
+	return rr
+}
+
+// notePrefill accounts one admission's prefill tokens: ctx tokens entered
+// the engine, shared of them came from resident blocks. The re-prefill tax
+// is the carried context — everything a preempted request regrew, or the
+// declared shared prefix of a fresh one — that was prefilled rather than
+// adopted.
+func (s *Stepper) notePrefill(r *request, ctx, shared int) {
+	s.res.PrefillTokens += ctx - shared
+	carried := 0
+	if r.preempted > 0 {
+		carried = ctx
+	} else if r.PrefixGroup != 0 {
+		carried = min(r.PrefixLen, ctx)
+	}
+	if tax := carried - shared; tax > 0 {
+		s.res.ReprefillTokens += tax
+	}
 }
 
 // countClass bumps the interactive or batch counter for a class by delta.
@@ -212,11 +323,11 @@ func (s *Stepper) Push(r workload.Request) error {
 	if r.InputLen <= 0 || r.OutputLen <= 0 {
 		return fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 	}
-	rr := &request{Request: r, readyAt: r.Arrival}
+	rr := s.newRequest(r)
 	s.all = append(s.all, rr)
 	s.enqueue(rr)
 	s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
-	s.kvDemandAll += s.eng.Cfg.KVBytes(r.SeqLen())
+	s.kvDemandAll += rr.kvBytes
 	return nil
 }
 
@@ -323,15 +434,34 @@ func (s *Stepper) AdvanceTo(t units.Seconds) {
 // With a single class outstanding both phases reduce to the classic FIFO
 // head-of-line admission.
 func (s *Stepper) admit() error {
-	var newcomers []int
+	admitted := 0
+	var inputs []int
+	var xferTime units.Seconds
+	var xferEnergy units.Joules
 
-	place := func(cand *request, kb units.Bytes) {
+	place := func(cand *request) error {
+		ctx := cand.contextLen()
+		shared := 0
+		if s.kvStore != nil {
+			c, err := s.kvStore.Admit(cand.lease, ctx)
+			if err != nil {
+				return err
+			}
+			shared = c.SharedTokens
+			xferTime += c.StallTime
+			xferEnergy += c.TransferEnergy
+		}
 		s.active = append(s.active, cand)
-		newcomers = append(newcomers, cand.contextLen())
+		admitted++
+		if in := ctx - shared; in > 0 {
+			inputs = append(inputs, in)
+		}
+		s.notePrefill(cand, ctx, shared)
 		s.countClass(cand.Class, &s.pendInteractive, &s.pendBatch, -1)
 		s.countClass(cand.Class, &s.actInteractive, &s.actBatch, +1)
-		s.kvSum += cand.contextLen()
-		s.kvDemandActive += kb
+		s.kvSum += ctx
+		s.kvDemandActive += cand.kvBytes
+		return nil
 	}
 
 	// Phase one: interactive admission (skipped when none is pending). The
@@ -349,9 +479,8 @@ func (s *Stepper) admit() error {
 				i++
 				continue
 			}
-			kb := s.eng.Cfg.KVBytes(cand.SeqLen())
-			if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
-				ok, err := s.preemptFor(kb)
+			if !s.kvFits(cand) {
+				ok, err := s.preemptFor(cand, &xferTime, &xferEnergy)
 				if err != nil {
 					return err
 				}
@@ -361,7 +490,9 @@ func (s *Stepper) admit() error {
 				}
 			}
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			place(cand, kb)
+			if err := place(cand); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -372,60 +503,113 @@ func (s *Stepper) admit() error {
 			if cand.Class != workload.ClassBatch || cand.readyAt > s.clock {
 				break
 			}
-			kb := s.eng.Cfg.KVBytes(cand.SeqLen())
-			if s.kvDemandActive+kb > s.eng.Sys.KVCapacity() {
+			if !s.kvFits(cand) {
 				break
 			}
 			s.pending = s.pending[1:]
-			place(cand, kb)
+			if err := place(cand); err != nil {
+				return err
+			}
 		}
 	}
 
-	if len(newcomers) == 0 {
+	if admitted == 0 {
 		return nil
 	}
-	pt := s.eng.runPrefill(newcomers, &s.res)
+	// A fully shared admission (inputs empty) still pays its demand
+	// transfers: promotion rides the prefill phase of the timeline, like
+	// prefill itself. Demotion write-backs charge energy only — idle state
+	// drains over the host link while the stacks keep computing.
+	var pt units.Seconds
+	if len(inputs) > 0 {
+		pt = s.eng.runPrefill(inputs, &s.res)
+	}
+	pt += xferTime
 	s.res.PrefillTime += pt
 	s.clock += pt
+	if xferEnergy > 0 {
+		s.res.Energy.Add(energy.Interconnect, xferEnergy)
+	}
 	if s.scheduler == nil {
 		var err error
-		s.scheduler, err = sched.NewScheduler(s.eng.Sys.Policy, len(newcomers), s.eng.Opt.TLP)
+		s.scheduler, err = sched.NewScheduler(s.eng.Sys.Policy, admitted, s.eng.Opt.TLP)
 		if s.scheduler != nil {
 			s.scheduler.SetTraceCap(0)
 		}
 		return err
 	}
-	return s.scheduler.AdmitRequests(len(newcomers))
+	return s.scheduler.AdmitRequests(admitted)
 }
 
-// preemptFor makes KV room for an interactive candidate needing kb bytes by
-// evicting batch-class requests from the active set, most recent admission
-// first. An evicted request loses its KV cache: it re-enters the pending
-// queue ready immediately, and its eventual re-admission re-prefills the
-// full grown context (prompt plus every token already generated) — the
-// paper-world cost of preemption. When even evicting every active batch
-// request would not free enough capacity, nothing is evicted. Reports
+// kvFits reports whether cand can be admitted right now under the KV
+// regime in force: block commitments when sharing is live (every block the
+// admission would commit — adopted, promoted, fresh, plus growth reserve —
+// must fit the hot tier next to the blocks already committed), the byte
+// ledger otherwise. Bit-for-bit the legacy comparison when sharing is off:
+// cand.kvBytes is exactly Cfg.KVBytes(cand.SeqLen()) then.
+func (s *Stepper) kvFits(cand *request) bool {
+	if s.kvShare {
+		return s.kvStore.CanAdmit(s.kvStore.PlanAdmit(cand.lease, cand.contextLen()))
+	}
+	return s.kvDemandActive+cand.kvBytes <= s.eng.Sys.KVCapacity()
+}
+
+// preemptFor makes KV room for an interactive candidate by evicting
+// batch-class requests from the active set, most recent admission first. An
+// evicted request re-enters the pending queue ready immediately. What
+// eviction costs depends on the KV regime: under the byte ledger the
+// victim's cache is simply gone, and its eventual re-admission re-prefills
+// the full grown context (prompt plus every token already generated) — the
+// paper-world cost of preemption. Under block sharing the victim's lease is
+// parked instead: sealed blocks are demoted to the cold tier (write-back
+// energy accumulated into xe; the drain overlaps compute, so xt only grows
+// by demand stalls), and re-admission promotes them
+// back rather than recomputing, so only what eviction pressure dropped from
+// cold is ever re-prefilled.
+//
+// Eviction is all-or-nothing: when even evicting every active batch request
+// could not make room — judged conservatively under sharing, assuming none
+// of the candidate's blocks are adoptable — nothing is evicted. Reports
 // whether the candidate now fits.
-func (s *Stepper) preemptFor(kb units.Bytes) (bool, error) {
-	kvCap := s.eng.Sys.KVCapacity()
-	var evictable units.Bytes
-	for _, r := range s.active {
-		if r.Class == workload.ClassBatch {
-			evictable += s.eng.Cfg.KVBytes(r.SeqLen())
+func (s *Stepper) preemptFor(cand *request, xt *units.Seconds, xe *units.Joules) (bool, error) {
+	if s.kvShare {
+		b := s.kvStore.BlockTokens()
+		worst := (cand.SeqLen() + b - 1) / b
+		gain := 0
+		for _, r := range s.active {
+			if r.Class == workload.ClassBatch {
+				gain += s.kvStore.ParkGain(r.lease)
+			}
+		}
+		if s.kvStore.CommittedBlocks()-gain+worst > s.kvStore.HotBlocks() {
+			return false, nil
+		}
+	} else {
+		kvCap := s.eng.Sys.KVCapacity()
+		var evictable units.Bytes
+		for _, r := range s.active {
+			if r.Class == workload.ClassBatch {
+				evictable += r.kvBytes
+			}
+		}
+		if s.kvDemandActive-evictable+cand.kvBytes > kvCap {
+			return false, nil
 		}
 	}
-	if s.kvDemandActive-evictable+kb > kvCap {
-		return false, nil
-	}
 	evicted := 0
-	for i := len(s.active) - 1; i >= 0 && s.kvDemandActive+kb > kvCap; i-- {
+	for i := len(s.active) - 1; i >= 0 && !s.kvFits(cand); i-- {
 		r := s.active[i]
 		if r.Class != workload.ClassBatch {
 			continue
 		}
+		if s.kvStore != nil {
+			c := s.kvStore.Park(r.lease)
+			*xt += c.StallTime
+			*xe += c.TransferEnergy
+		}
 		s.active = append(s.active[:i], s.active[i+1:]...)
 		s.kvSum -= r.contextLen()
-		s.kvDemandActive -= s.eng.Cfg.KVBytes(r.SeqLen())
+		s.kvDemandActive -= r.kvBytes
 		s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
 		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
 		r.readyAt = s.clock
@@ -442,7 +626,7 @@ func (s *Stepper) preemptFor(kb units.Bytes) (bool, error) {
 			return false, err
 		}
 	}
-	return true, nil
+	return s.kvFits(cand), nil
 }
 
 // Step advances the engine by one unit of progress: admit any arrived
@@ -474,13 +658,20 @@ func (s *Stepper) Step() (StepInfo, error) {
 			// A request has arrived but could not be admitted with an empty
 			// batch: some arrived request's KV cache alone exceeds the pool
 			// (with priority tiers that may be an interactive request behind
-			// the queue head, whose block also bars batch admission).
+			// the queue head, whose block also bars batch admission). Under
+			// block sharing "alone" means its whole-sequence block count
+			// against an empty hot tier.
 			blocked := s.pending[0]
 			for _, r := range s.pending {
 				if r.readyAt > s.clock {
 					break
 				}
-				if s.eng.Cfg.KVBytes(r.SeqLen()) > s.eng.Sys.KVCapacity() {
+				if s.kvShare {
+					if !s.kvStore.FitsAlone(r.SeqLen()) {
+						blocked = r
+						break
+					}
+				} else if s.eng.Cfg.KVBytes(r.SeqLen()) > s.eng.Sys.KVCapacity() {
 					blocked = r
 					break
 				}
@@ -533,6 +724,11 @@ func (s *Stepper) Step() (StepInfo, error) {
 		s.res.Tokens += committed
 		it.Tokens += committed
 		s.kvSum += committed
+		if s.kvStore != nil {
+			if err := s.kvStore.Extend(r.lease, r.contextLen()); err != nil {
+				return StepInfo{}, err
+			}
+		}
 		epoch := units.Seconds(0)
 		if !s.static {
 			epoch = r.Arrival
@@ -542,10 +738,12 @@ func (s *Stepper) Step() (StepInfo, error) {
 			eos++
 			info.Finished = append(info.Finished, r.Request)
 			s.kvSum -= r.InputLen + r.generated
-			kb := s.eng.Cfg.KVBytes(r.SeqLen())
-			s.kvDemandAll -= kb
-			s.kvDemandActive -= kb
+			s.kvDemandAll -= r.kvBytes
+			s.kvDemandActive -= r.kvBytes
 			s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
+			if s.kvStore != nil {
+				s.kvStore.Commit(r.lease)
+			}
 		}
 	}
 	if len(s.res.IterStats) < traceCap {
@@ -617,8 +815,7 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 	nextArrival := units.Seconds(math.Inf(1))
 	if !s.static && len(s.pending) > 0 {
 		head := s.pending[0]
-		if len(s.active) < s.maxBatch &&
-			s.kvDemandActive+s.eng.Cfg.KVBytes(head.SeqLen()) <= s.eng.Sys.KVCapacity() {
+		if len(s.active) < s.maxBatch && s.kvFits(head) {
 			nextArrival = head.readyAt
 		}
 	}
@@ -664,9 +861,31 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 	info := StepInfo{Kind: StepIteration, Iteration: last}
 	s.res.Tokens += run * rlp
 	eos := 0
+	// Lease growth replays the reference path's allocator schedule in two
+	// phases. Interior iterations free nothing (commits only land on the
+	// final iteration), so their per-step, per-lease block allocations all
+	// draw on the same monotonically shrinking hot tier — any order pops
+	// the same idle blocks, and one bulk Extend per lease to the
+	// penultimate context reproduces the state exactly. The final
+	// iteration is different: the reference loop interleaves each lease's
+	// growth with finished leases' Commits, whose freed blocks are
+	// allocatable to the leases after them, so it must be replayed in
+	// active order below, not folded into the bulk phase.
+	if s.kvStore != nil && run > 1 {
+		for _, r := range s.active {
+			if err := s.kvStore.Extend(r.lease, r.contextLen()+run-1); err != nil {
+				return StepInfo{}, err
+			}
+		}
+	}
 	for _, r := range s.active {
 		r.iterations += run
 		r.generated += run
+		if s.kvStore != nil {
+			if err := s.kvStore.Extend(r.lease, r.contextLen()); err != nil {
+				return StepInfo{}, err
+			}
+		}
 		epoch := units.Seconds(0)
 		if !s.static {
 			epoch = r.Arrival
@@ -677,10 +896,12 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 			eos++
 			info.Finished = append(info.Finished, r.Request)
 			s.kvSum -= r.InputLen + r.generated
-			kb := s.eng.Cfg.KVBytes(r.SeqLen())
-			s.kvDemandAll -= kb
-			s.kvDemandActive -= kb
+			s.kvDemandAll -= r.kvBytes
+			s.kvDemandActive -= r.kvBytes
 			s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
+			if s.kvStore != nil {
+				s.kvStore.Commit(r.lease)
+			}
 		}
 	}
 	if err := s.scheduler.ObserveEOS(eos); err != nil {
@@ -717,6 +938,13 @@ func (s *Stepper) Finalize() Result {
 	}
 	// Host CPU draws power for the whole run.
 	s.res.Energy.Add(energy.HostCPU, s.eng.Sys.HostPower.Energy(s.res.TotalTime()))
+	// Block-cache counters are part of the Result only when sharing was live;
+	// a shadow store's ledger is an implementation detail, and attaching it
+	// would break the sharing-off ≡ legacy Result equivalence.
+	if s.kvShare {
+		st := s.kvStore.Stats()
+		s.res.KV = &st
+	}
 	return s.res
 }
 

@@ -24,6 +24,11 @@ type TraceRequest struct {
 	// requests.
 	Conversation int `json:"conversation,omitempty"`
 	Turn         int `json:"turn,omitempty"`
+	// PrefixGroup and PrefixLen mirror Request.PrefixGroup/PrefixLen;
+	// both omitted for requests with no sharing relationship, so
+	// pre-prefix traces round-trip byte-stably.
+	PrefixGroup int64 `json:"prefix_group,omitempty"`
+	PrefixLen   int   `json:"prefix_len,omitempty"`
 }
 
 // Trace is a saved request stream: a scenario realisation (or any recorded
@@ -61,6 +66,8 @@ func NewTrace(name, scenario string, seed int64, reqs []Request) Trace {
 			Class:        class,
 			Conversation: r.Conversation,
 			Turn:         r.Turn,
+			PrefixGroup:  r.PrefixGroup,
+			PrefixLen:    r.PrefixLen,
 		}
 	}
 	return t
@@ -88,6 +95,8 @@ func (t Trace) Workload() []Request {
 			Class:        class,
 			Conversation: r.Conversation,
 			Turn:         r.Turn,
+			PrefixGroup:  r.PrefixGroup,
+			PrefixLen:    r.PrefixLen,
 		}
 	}
 	return reqs
@@ -145,6 +154,13 @@ func (t Trace) validate() error {
 			if _, err := ClassByName(r.Class); err != nil {
 				return fmt.Errorf("workload: trace %q request %d: %w", t.Name, r.ID, err)
 			}
+		}
+		if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
+			return fmt.Errorf("workload: trace %q request %d prefix length %d outside input length %d",
+				t.Name, r.ID, r.PrefixLen, r.InputLen)
+		}
+		if r.PrefixLen > 0 && r.PrefixGroup == 0 {
+			return fmt.Errorf("workload: trace %q request %d has a prefix length but no prefix group", t.Name, r.ID)
 		}
 	}
 	return nil

@@ -84,3 +84,37 @@ func TestImportTraceRejectsBadTraces(t *testing.T) {
 		}
 	}
 }
+
+// Prefix-sharing metadata must survive both round trips (to bytes and back,
+// and to a runnable stream and back) and be validated on import.
+func TestTracePrefixFields(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, InputLen: 64, OutputLen: 8, PrefixGroup: 3, PrefixLen: 48},
+		{ID: 1, InputLen: 64, OutputLen: 8},
+	}
+	tr := NewTrace("t", "", 0, reqs)
+	data, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Workload(); !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("prefix fields lost in round trip: %+v", got)
+	}
+	if bytes.Contains(data, []byte(`"prefix_group": 0`)) {
+		t.Fatal("zero prefix group serialised instead of omitted")
+	}
+
+	bad := map[string]string{
+		"prefix beyond input":  `{"name":"x","seed":1,"requests":[{"id":0,"input":4,"output":4,"arrival_s":0,"prefix_group":1,"prefix_len":5}]}`,
+		"prefix without group": `{"name":"x","seed":1,"requests":[{"id":0,"input":4,"output":4,"arrival_s":0,"prefix_len":2}]}`,
+	}
+	for label, data := range bad {
+		if _, err := ImportTrace([]byte(data)); err == nil {
+			t.Errorf("%s: import accepted invalid trace", label)
+		}
+	}
+}

@@ -79,6 +79,19 @@ type Request struct {
 	// exported traces keep their dialogue structure.
 	Conversation int
 	Turn         int
+	// PrefixGroup and PrefixLen declare a KV prefix-sharing relationship:
+	// requests with the same non-zero PrefixGroup begin with the same
+	// token prefix (a shared system prompt or document, or the carried
+	// context of a multi-turn conversation), and PrefixLen is how many of
+	// this request's input tokens that shared prefix covers. The serving
+	// engine's block-level KV cache (internal/kv) uses them to adopt
+	// committed blocks instead of re-prefilling; both are zero for a
+	// request with no sharing relationship. The cluster's conversation
+	// driver derives a negative PrefixGroup from the conversation ID so it
+	// can never collide with the positive groups workload generators hand
+	// out.
+	PrefixGroup int64
+	PrefixLen   int
 }
 
 // SeqLen returns the final sequence length (KV footprint driver).
@@ -209,6 +222,44 @@ func AssignClasses(reqs []Request, batchFraction float64, seed int64) []Request 
 			reqs[i].Class = ClassBatch
 		} else {
 			reqs[i].Class = ClassInteractive
+		}
+	}
+	return reqs
+}
+
+// AssignPrefixGroups deterministically gives a fraction of the stream a
+// shared-prefix relationship, in place, and returns the stream: tagged
+// requests are dealt round-robin into groups numbered 1..groups, each group
+// draws one document length from docLen (the shared system prompt or
+// retrieved document all its members start with), and every member's
+// PrefixLen is that document length clamped to its own InputLen. Like
+// AssignClasses it seeds its own rng, so the same stream and seed always
+// yield the same sharing structure regardless of how lengths and arrivals
+// were drawn. fraction is clamped to [0, 1]; groups < 1 leaves the stream
+// untouched.
+func AssignPrefixGroups(reqs []Request, groups int, docLen LengthDist, fraction float64, seed int64) []Request {
+	if groups < 1 || fraction <= 0 {
+		return reqs
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]int, groups)
+	for g := range docs {
+		docs[g] = docLen.Sample(rng)
+	}
+	next := 0
+	for i := range reqs {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		g := next % groups
+		next++
+		reqs[i].PrefixGroup = int64(g + 1)
+		reqs[i].PrefixLen = docs[g]
+		if reqs[i].PrefixLen > reqs[i].InputLen {
+			reqs[i].PrefixLen = reqs[i].InputLen
 		}
 	}
 	return reqs

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -153,5 +154,64 @@ func TestSampleClampProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// AssignPrefixGroups is deterministic, clamps each member's prefix to its
+// own input, and deals tagged requests across the requested group count.
+func TestAssignPrefixGroups(t *testing.T) {
+	doc := LengthDist{Median: 96, Sigma: 0.4, Min: 16, Max: 256}
+	fresh := func() []Request { return GeneralQA().Generate(64, 3) }
+
+	a := AssignPrefixGroups(fresh(), 4, doc, 0.5, 9)
+	b := AssignPrefixGroups(fresh(), 4, doc, 0.5, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same stream and seed produced different groupings")
+	}
+
+	groups := map[int64]int{}
+	tagged := 0
+	for _, r := range a {
+		if r.PrefixGroup == 0 {
+			if r.PrefixLen != 0 {
+				t.Fatal("untagged request carries a prefix length")
+			}
+			continue
+		}
+		tagged++
+		groups[r.PrefixGroup]++
+		if r.PrefixGroup < 1 || r.PrefixGroup > 4 {
+			t.Fatalf("group %d outside 1..4", r.PrefixGroup)
+		}
+		if r.PrefixLen < 1 || r.PrefixLen > r.InputLen {
+			t.Fatalf("prefix %d outside 1..input %d", r.PrefixLen, r.InputLen)
+		}
+	}
+	if tagged < 16 || tagged > 48 {
+		t.Fatalf("tagged %d of 64 at fraction 0.5", tagged)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("round-robin used %d of 4 groups", len(groups))
+	}
+
+	// Members of one group agree on the document length (up to clamping).
+	byGroup := map[int64]int{}
+	for _, r := range a {
+		if r.PrefixGroup == 0 || r.PrefixLen == r.InputLen {
+			continue // clamped members may differ
+		}
+		if prev, ok := byGroup[r.PrefixGroup]; ok && prev != r.PrefixLen {
+			t.Fatalf("group %d has prefix lengths %d and %d", r.PrefixGroup, prev, r.PrefixLen)
+		}
+		byGroup[r.PrefixGroup] = r.PrefixLen
+	}
+
+	// No-ops leave the stream untouched.
+	c := fresh()
+	if got := AssignPrefixGroups(c, 0, doc, 1, 9); !reflect.DeepEqual(got, fresh()) {
+		t.Fatal("groups=0 modified the stream")
+	}
+	if got := AssignPrefixGroups(c, 4, doc, 0, 9); !reflect.DeepEqual(got, fresh()) {
+		t.Fatal("fraction=0 modified the stream")
 	}
 }

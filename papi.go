@@ -37,6 +37,7 @@ import (
 	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/design"
+	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
 	"github.com/papi-sim/papi/internal/sched"
@@ -257,6 +258,30 @@ func NewEngine(sys *System, cfg Model, opt Options) (*Engine, error) {
 // cluster simulator).
 type Stepper = serving.Stepper
 
+// KVOptions configures the block-level KV cache (block size, prefix
+// sharing, cold-tier sizing, eviction policy); set Options.KV to enable it.
+type KVOptions = kv.Options
+
+// KVStats is a serving run's block-cache ledger: prefix-index hits, adopted
+// tokens, tier motion, and host-link transfer totals.
+type KVStats = kv.Stats
+
+// KVPolicy selects the deterministic eviction order over idle blocks.
+type KVPolicy = kv.Policy
+
+// Eviction policies for KVOptions.Policy.
+const (
+	KVPolicyLRU      = kv.PolicyLRU
+	KVPolicyRefAware = kv.PolicyRefAware
+)
+
+// DefaultKVOptions returns the block-cache defaults (32-token blocks,
+// sharing on, 4× cold tier).
+func DefaultKVOptions() KVOptions { return kv.DefaultOptions() }
+
+// KVPolicyByName resolves an eviction policy by its display name.
+func KVPolicyByName(name string) (KVPolicy, error) { return kv.PolicyByName(name) }
+
 // RequestMetrics is one request's latency experience (TTFT, TPOT,
 // completion).
 type RequestMetrics = serving.RequestMetrics
@@ -370,6 +395,9 @@ const (
 
 // Seconds is the simulator's time quantity.
 type Seconds = units.Seconds
+
+// Bytes is the simulator's data-size quantity (KV footprints, transfers).
+type Bytes = units.Bytes
 
 // Kernel is one LLM kernel's shape (FLOPs, streamed weights/KV, activations).
 type Kernel = model.Kernel
