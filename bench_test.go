@@ -206,6 +206,36 @@ func BenchmarkScenarios(b *testing.B) {
 	b.ReportMetric(float64(len(r.Cells)), "cells")
 }
 
+// BenchmarkResilience drives a two-replica fleet through a mid-run crash
+// with bounded-retry failover — the fault injector's hot path (casualty
+// handling, re-routing, re-prefill accounting) under the allocation gate.
+func BenchmarkResilience(b *testing.B) {
+	plan := FaultPlan{Name: "bench-crash", Faults: []Fault{
+		{Kind: FaultCrash, Replica: 0, At: 0.8},
+	}}
+	var f *FleetResult
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(NewPAPI, LLaMA65B(), ClusterOptions{
+			Replicas:     2,
+			MaxBatch:     16,
+			Router:       LeastOutstanding(),
+			Serving:      DefaultOptions(1),
+			Faults:       &plan,
+			Retries:      2,
+			RetryBackoff: Seconds(0.05),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err = c.Run(GeneralQA().Poisson(64, 60, 5))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.Retries), "failover-retries")
+	b.ReportMetric(f.Availability(), "availability")
+}
+
 // BenchmarkKVBlockStore drives the block-level KV cache through a
 // steady-state serving cycle — admit with prefix adoption, per-token decode
 // growth, commit back to the prefix inventory — under enough pressure that

@@ -6,6 +6,7 @@
 //	papibench -figure dse          # the design-space exploration grid
 //	papibench -list-designs        # the named hardware designs
 //	papibench -design PAPI         # inspect one design (name or spec .json)
+//	papibench -faults plan.json    # validate and summarise a fault plan
 //	papibench -fastpath=off        # force the reference decode path
 //	papibench -cpuprofile cpu.out  # write a pprof CPU profile
 //	papibench -memprofile mem.out  # write a pprof heap profile
@@ -20,13 +21,15 @@ import (
 
 	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/faults"
 	"github.com/papi-sim/papi/internal/serving"
 )
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse,kvcache)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse,kvcache,resilience)")
 	designArg := flag.String("design", "", "inspect one hardware design (registry name or spec .json file): validate, print its spec and derived capacities, then exit")
 	listDesigns := flag.Bool("list-designs", false, "list the named hardware designs in the registry and exit")
+	faultsArg := flag.String("faults", "", "inspect one fault plan .json: validate, print its schedule, then exit (see docs/RESILIENCE.md)")
 	fastpath := flag.String("fastpath", "on", "decode-loop fast path: on (memoized cost tables + macro-stepping) or off (reference path); both produce byte-identical output")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -34,7 +37,7 @@ func main() {
 
 	// run's defers terminate the CPU profile before the process exits on
 	// any error path, so a failed run never leaves a truncated profile.
-	if err := run(*which, *designArg, *listDesigns, *fastpath, *cpuprofile, *memprofile); err != nil {
+	if err := run(*which, *designArg, *faultsArg, *listDesigns, *fastpath, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "papibench: %v\n", err)
 		os.Exit(1)
 	}
@@ -71,7 +74,37 @@ func inspectDesign(arg string) error {
 	return nil
 }
 
-func run(which, designArg string, listDesigns bool, fastpath, cpuprofile, memprofile string) error {
+// inspectFaults loads a fault plan, validates it, and prints its schedule in
+// event order — the dry-run companion to `papiserve -faults`, so a plan's
+// shape can be checked before spending a fleet run on it.
+func inspectFaults(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plan, err := faults.ImportPlan(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %q: %d faults", plan.Name, len(plan.Faults))
+	if plan.Seed != 0 {
+		fmt.Printf(" (generator seed %d)", plan.Seed)
+	}
+	fmt.Println()
+	for _, f := range plan.Faults {
+		switch {
+		case !f.Window():
+			fmt.Printf("  %8.3fs  crash      replica %d (permanent)\n", f.At, f.Replica)
+		case f.Kind == faults.KindStraggler:
+			fmt.Printf("  %8.3fs  straggler  replica %d ×%.2f for %.3fs\n", f.At, f.Replica, f.Factor, f.Duration)
+		default:
+			fmt.Printf("  %8.3fs  brownout   fleet-wide ×%.2f for %.3fs\n", f.At, f.Factor, f.Duration)
+		}
+	}
+	return nil
+}
+
+func run(which, designArg, faultsArg string, listDesigns bool, fastpath, cpuprofile, memprofile string) error {
 	// Validated up front so a typo never goes silently unused, whichever
 	// mode runs.
 	switch fastpath {
@@ -83,18 +116,27 @@ func run(which, designArg string, listDesigns bool, fastpath, cpuprofile, mempro
 		return fmt.Errorf("-fastpath must be on or off, got %q", fastpath)
 	}
 
-	if listDesigns || designArg != "" {
+	if listDesigns || designArg != "" || faultsArg != "" {
 		// Inspection modes run no figures; any combined request they would
 		// silently drop is rejected instead.
 		if which != "" || cpuprofile != "" || memprofile != "" {
-			return fmt.Errorf("-design/-list-designs cannot be combined with -figure, -cpuprofile, or -memprofile")
+			return fmt.Errorf("-design/-list-designs/-faults cannot be combined with -figure, -cpuprofile, or -memprofile")
 		}
-		if listDesigns && designArg != "" {
-			return fmt.Errorf("-design and -list-designs are mutually exclusive")
+		modes := 0
+		for _, on := range []bool{listDesigns, designArg != "", faultsArg != ""} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			return fmt.Errorf("-design, -list-designs, and -faults are mutually exclusive")
 		}
 		if listDesigns {
 			printDesigns()
 			return nil
+		}
+		if faultsArg != "" {
+			return inspectFaults(faultsArg)
 		}
 		return inspectDesign(designArg)
 	}

@@ -24,6 +24,8 @@
 //	papiserve -scenario tiered-diurnal -autoscale 1:4 -requests 240
 //	papiserve -rate 30 -classes 0.4 -replicas 2 -requests 96
 //	papiserve -scenario chat-multiturn -kv-blocks 32 -kv-cold 4 -requests 48
+//	papiserve -faults examples/resilience/crash-peak.json -autoscale 1:4 -retries 2
+//	papiserve -timeout 5 -retries 1 -rate 40 -requests 96
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/design"
 	"github.com/papi-sim/papi/internal/experiments"
+	"github.com/papi-sim/papi/internal/faults"
 	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/serving"
@@ -66,6 +69,9 @@ func main() {
 		classes   = flag.Float64("classes", 0, "fraction of generated requests tagged batch-class (preemptible); scenarios and traces carry their own classes")
 		kvBlocks  = flag.Int("kv-blocks", 0, "block-level KV cache: tokens per block, prefix sharing on (0 = plain byte-ledger accounting)")
 		kvCold    = flag.Float64("kv-cold", 4, "with -kv-blocks: cold-tier capacity as a multiple of the hot attention pool (negative disables the tier)")
+		faultsIn  = flag.String("faults", "", "inject a fault plan .json (crashes, stragglers, brownouts; see docs/RESILIENCE.md)")
+		retries   = flag.Int("retries", 2, "bounded failover: retry a request lost to a crash or timeout at most this many times")
+		timeoutS  = flag.Float64("timeout", 0, "per-attempt request timeout in seconds (0 = none); timed-out attempts cancel and retry under -retries")
 	)
 	flag.Parse()
 
@@ -83,6 +89,7 @@ func main() {
 		replicas: *replicas, requests: *requests, maxBatch: *maxBatch,
 		spec: *spec, seed: *seed, rate: *rate, sloMS: *sloMS, target: *target,
 		classes: *classes, kvBlocks: *kvBlocks, kvCold: *kvCold,
+		faults: *faultsIn, retries: *retries, timeoutS: *timeoutS,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
@@ -91,11 +98,11 @@ func main() {
 
 type options struct {
 	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
-	autoscale                                                                  string
+	autoscale, faults                                                          string
 
-	replicas, requests, maxBatch, spec, kvBlocks int
-	seed                                         int64
-	rate, sloMS, target, classes, kvCold         float64
+	replicas, requests, maxBatch, spec, kvBlocks, retries int
+	seed                                                  int64
+	rate, sloMS, target, classes, kvCold, timeoutS        float64
 }
 
 func run(o options) error {
@@ -111,6 +118,9 @@ func run(o options) error {
 	if o.sweep != "" {
 		if o.scenario != "" || o.traceIn != "" || o.traceOut != "" || o.autoscale != "" || o.classes != 0 {
 			return fmt.Errorf("-sweep cannot be combined with -scenario, -trace, -save-trace, -autoscale, or -classes")
+		}
+		if o.faults != "" || o.timeoutS != 0 {
+			return fmt.Errorf("-sweep evaluates fault-free capacity and cannot be combined with -faults or -timeout")
 		}
 		// The capacity sweep evaluates the fixed comparison set; silently
 		// ignoring a requested design would misattribute its results.
@@ -161,13 +171,33 @@ func run(o options) error {
 	if o.kvBlocks > 0 {
 		opt.KV = &kv.Options{BlockTokens: o.kvBlocks, Sharing: true, ColdFactor: o.kvCold}
 	}
-	c, err := cluster.NewFromSpecs(specs, cfg, cluster.Options{
+	copt := cluster.Options{
 		Replicas:  o.replicas,
 		MaxBatch:  o.maxBatch,
 		Router:    rt,
 		Serving:   opt,
 		Autoscale: auto,
-	})
+		Retries:   o.retries,
+		Timeout:   units.Seconds(o.timeoutS),
+	}
+	if o.faults != "" {
+		data, err := os.ReadFile(o.faults)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.ImportPlan(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injecting fault plan %q (%d faults)\n", plan.Name, len(plan.Faults))
+		copt.Faults = &plan
+	}
+	if copt.Faults != nil || copt.Timeout > 0 {
+		// Deterministic exponential backoff between failover attempts; the
+		// fixed base keeps CLI runs reproducible without one more knob.
+		copt.RetryBackoff = units.Milliseconds(50)
+	}
+	c, err := cluster.NewFromSpecs(specs, cfg, copt)
 	if err != nil {
 		return err
 	}

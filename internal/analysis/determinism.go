@@ -17,6 +17,7 @@ var DeterministicPackages = []string{
 	"/internal/sched",
 	"/internal/serving",
 	"/internal/kv",
+	"/internal/faults",
 	"/internal/cluster",
 	"/internal/workload",
 	"/internal/experiments",

@@ -17,6 +17,7 @@ var UnitSafePackages = []string{
 	"/internal/sched",
 	"/internal/serving",
 	"/internal/kv",
+	"/internal/faults",
 	"/internal/cluster",
 	"/internal/workload",
 	"/internal/experiments",

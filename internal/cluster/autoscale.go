@@ -189,11 +189,13 @@ func (s *scaler) stop(rep *Replica, at units.Seconds) {
 func (s *scaler) record(ev ScaleEvent) { s.events = append(s.events, ev) }
 
 // poweredOn counts replicas currently drawing power (everything not
-// stopped).
+// stopped). A crashed replica is dead hardware, not headroom: it stops
+// counting against Max, which is what lets the control loop boot its
+// replacement.
 func (s *scaler) poweredOn() int {
 	n := 0
 	for _, rep := range s.run.reps {
-		if rep.state != repStopped {
+		if rep.state != repStopped && rep.state != repFailed {
 			n++
 		}
 	}
@@ -269,6 +271,11 @@ func (s *scaler) tick(now units.Seconds) {
 			rep.state = repActive
 			r.rebuildEligible()
 			s.record(ScaleEvent{At: liveNow, Action: ScaleLive, Replica: rep.ID, Active: len(r.eligible)})
+			if r.resil != nil {
+				// Failover casualties stranded with no live replica
+				// land on the replacement the moment it activates.
+				r.resil.flushWaiting(liveNow)
+			}
 		})
 
 	case cooled && act > s.opt.Min && warming == 0 &&

@@ -38,6 +38,7 @@ import (
 
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/design"
+	"github.com/papi-sim/papi/internal/faults"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/serving"
 	"github.com/papi-sim/papi/internal/sim"
@@ -65,6 +66,25 @@ type Options struct {
 	// response to windowed load signals (see AutoscaleOptions). Nil keeps
 	// the fleet statically provisioned at Replicas.
 	Autoscale *AutoscaleOptions
+
+	// Faults, when non-nil and non-empty, schedules the plan's failure
+	// events on the run's event kernel (see internal/faults): replica
+	// crashes trigger failover of the lost requests to survivors, straggler
+	// and brownout windows stretch the priced kernel latencies. A nil or
+	// empty plan leaves every result bit-identical to a fault-free run.
+	Faults *faults.Plan
+	// Retries bounds failover: a request lost to a crash or timeout is
+	// re-routed to a survivor (its grown context re-prefilled) at most
+	// Retries times before it terminally fails. Zero retries means the
+	// first loss is final.
+	Retries int
+	// RetryBackoff delays each retry by RetryBackoff × 2^(attempt-1) —
+	// deterministic exponential backoff. Zero re-routes at the loss instant.
+	RetryBackoff units.Seconds
+	// Timeout, when positive, bounds every request attempt: an attempt
+	// still outstanding Timeout after its injection is cancelled on its
+	// replica and retried under the same bounded-retry policy.
+	Timeout units.Seconds
 }
 
 func (o Options) validate() error {
@@ -83,7 +103,28 @@ func (o Options) validate() error {
 				o.Replicas, o.Autoscale.Min, o.Autoscale.Max)
 		}
 	}
+	if o.Retries < 0 {
+		return fmt.Errorf("cluster: retry bound %d must be ≥ 0", o.Retries)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("cluster: retry backoff %v must be ≥ 0", o.RetryBackoff)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("cluster: request timeout %v must be ≥ 0", o.Timeout)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// resilienceActive reports whether the run needs the failure machinery at
+// all. When false the run takes exactly the pre-fault code paths, keeping
+// every fault-free result bit-identical.
+func (o Options) resilienceActive() bool {
+	return (o.Faults != nil && !o.Faults.Empty()) || o.Timeout > 0
 }
 
 // replicaState is a replica's position in the elastic lifecycle. Statically
@@ -101,6 +142,10 @@ const (
 	repDraining
 	// repStopped replicas are powered off.
 	repStopped
+	// repFailed replicas crashed mid-run (see Options.Faults): their
+	// in-flight work was surrendered to failover and they never return. The
+	// autoscaler treats the slot as free headroom and may boot a replacement.
+	repFailed
 )
 
 // String names the state as scale events and debug output spell it.
@@ -114,6 +159,8 @@ func (s replicaState) String() string {
 		return "draining"
 	case repStopped:
 		return "stopped"
+	case repFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -350,6 +397,16 @@ type fleetRun struct {
 	// onFinish, when set, fires once per completed request on the replica
 	// that served it, at the replica's completion instant.
 	onFinish func(rep *Replica, req workload.Request)
+	// resil is the failure machinery (crash failover, timeouts, bounded
+	// retries, degradation windows); nil unless Options arm it, so
+	// fault-free runs take exactly the pre-fault code paths.
+	resil *resilience
+	// onCrash and onRequeue let RunPlan keep its conversation pins honest
+	// under failover: onCrash un-pins every conversation homed on the dead
+	// replica, onRequeue re-pins a conversation to the survivor its retried
+	// turn landed on.
+	onCrash   func(rep *Replica, now units.Seconds)
+	onRequeue func(id int, rep *Replica)
 	// horizon returns the earliest future instant at which an event outside
 	// a replica's own stepping can interact with it — the bound a replica's
 	// fast-path macro-stepping must not cross (see Stepper.SetHorizon). The
@@ -378,6 +435,10 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 			return t
 		}
 		return units.Seconds(math.Inf(1))
+	}
+	if c.opt.resilienceActive() {
+		r.resil = newResilience(r)
+		r.resil.schedulePlan()
 	}
 	if c.opt.Autoscale != nil {
 		opt := c.opt.Autoscale.withDefaults(c.opt.MaxBatch)
@@ -460,6 +521,11 @@ func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) 
 	rep := &Replica{ID: len(r.reps), design: bp.name, engine: eng, stepper: st,
 		state: state, bootAt: bootAt, liveAt: liveAt}
 	r.reps = append(r.reps, rep)
+	if r.resil != nil {
+		// A replica born inside a degradation window serves at the
+		// window's reduced bandwidth from its first iteration.
+		r.resil.applyPerturb(rep)
+	}
 	return rep, nil
 }
 
@@ -484,6 +550,11 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 		if r.err != nil {
 			return
 		}
+		// A step armed before a crash must not touch the dead engine: its
+		// clock is frozen at the failure instant.
+		if rep.state == repFailed {
+			return
+		}
 		rep.stepper.AdvanceTo(now)
 		rep.stepper.SetHorizon(r.horizon())
 		info, err := rep.stepper.Step()
@@ -493,6 +564,11 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 		}
 		if r.scaler != nil {
 			r.scaler.observeStep(rep, info)
+		}
+		if r.resil != nil {
+			for _, req := range info.Finished {
+				r.resil.finished(req)
+			}
 		}
 		if r.onFinish != nil {
 			for _, req := range info.Finished {
@@ -506,16 +582,20 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 	})
 }
 
-// inject pushes a request into a replica and re-arms its step event.
-func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds) {
+// push delivers a request to a replica and re-arms its step event, without
+// recording a stream arrival — the failover path's re-injection, where the
+// request's original arrival is already on record.
+func (r *fleetRun) push(rep *Replica, req workload.Request, now units.Seconds) bool {
 	if err := rep.stepper.Push(req); err != nil {
 		r.err = err
-		return
+		return false
 	}
-	r.stream = append(r.stream, req)
 	rep.routed++
 	if r.scaler != nil {
 		r.scaler.arrivals++
+	}
+	if r.resil != nil {
+		r.resil.noteInject(rep, req, now)
 	}
 	if !rep.scheduled {
 		at := now
@@ -527,12 +607,26 @@ func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds)
 		}
 		r.schedule(rep, at)
 	}
+	return true
+}
+
+// inject pushes a request into a replica, recording the realised arrival.
+func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds) {
+	if r.push(rep, req, now) {
+		r.stream = append(r.stream, req)
+	}
 }
 
 // route picks a replica for an arriving request via the cluster's router and
 // injects it. The router only sees the eligible (active) replicas: warming
 // replicas are still booting and draining replicas accept no new work.
+// During a brownout window, batch-class open-loop arrivals are parked until
+// the window lifts (graceful degradation: interactive traffic keeps the
+// thinned bandwidth).
 func (r *fleetRun) route(req workload.Request, now units.Seconds) *Replica {
+	if r.resil != nil && r.resil.shedArrival(req) {
+		return nil
+	}
 	idx := r.c.opt.Router.Route(req, r.eligible)
 	if idx < 0 || idx >= len(r.eligible) {
 		r.err = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
@@ -584,12 +678,18 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 	// fast-forwarding to the other replicas' step cadence.
 	arrivals := make([]units.Seconds, len(stream))
 	fired := 0
-	r.horizon = func() units.Seconds {
-		h := r.nextTick
-		if fired < len(arrivals) && arrivals[fired] < h {
-			h = arrivals[fired]
+	if r.resil == nil {
+		// With the failure machinery armed this tightening is unsound:
+		// fault edges, timeouts, and retry re-injections are kernel events
+		// between arrivals, so macro-stepping must stay bounded by the
+		// kernel's next pending event (the default horizon).
+		r.horizon = func() units.Seconds {
+			h := r.nextTick
+			if fired < len(arrivals) && arrivals[fired] < h {
+				h = arrivals[fired]
+			}
+			return h
 		}
-		return h
 	}
 	for i := range stream {
 		req := stream[i]
@@ -666,6 +766,32 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 		nextID += len(conv.Turns)
 	}
 
+	// Failover keeps the conversation pins honest: a crash orphans every
+	// conversation homed on the dead replica (its KV state is gone), and a
+	// retried turn re-pins its conversation to the survivor it lands on,
+	// which re-prefills the carried context.
+	r.onCrash = func(rep *Replica, now units.Seconds) {
+		for _, st := range states {
+			if st.rep == rep {
+				st.rep = nil
+			}
+		}
+	}
+	r.onRequeue = func(id int, rep *Replica) {
+		st, ok := byReq[id]
+		if !ok || st.rep == rep {
+			return
+		}
+		if st.rep != nil {
+			st.rep.holds--
+		}
+		st.rep = rep
+		rep.holds++
+		if r.resil != nil {
+			r.resil.repins++
+		}
+	}
+
 	// A completed turn launches the conversation's next turn think-time
 	// later, on the same replica. A finished conversation releases its hold
 	// on the replica, making it drainable again.
@@ -697,7 +823,21 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 			if r.err != nil {
 				return
 			}
-			r.inject(st.rep, follow, now)
+			rep := st.rep
+			if rep == nil || rep.state == repFailed || rep.state == repStopped {
+				// The pinned replica died between turns: route the
+				// follow-up like a fresh arrival and re-pin the
+				// conversation to wherever it lands.
+				if nrep := r.route(follow, now); nrep != nil {
+					st.rep = nrep
+					nrep.holds++
+					if r.resil != nil {
+						r.resil.repins++
+					}
+				}
+				return
+			}
+			r.inject(rep, follow, now)
 		})
 	}
 

@@ -51,6 +51,23 @@ type FleetResult struct {
 	// requests pushed out for interactive arrivals under KV pressure).
 	Preemptions int
 
+	// Resilience accounting (all zero for fault-free runs). Faults counts
+	// the plan's fault events that actually fired against the fleet;
+	// Retries the failover re-injections; FailedRequests the requests that
+	// exhausted the retry bound (or had no survivor to land on), sorted by
+	// ID. LostTokens is generation sunk on crashed or timed-out attempts
+	// (goodput discounts it), FailoverReprefillTokens the context tokens
+	// survivors had to re-prefill, Repins the conversations re-homed after
+	// their KV-affinity replica died, and ShedArrivals the batch-class
+	// admissions parked during brownout windows.
+	Faults                  int
+	Retries                 int
+	FailedRequests          []FailedRequest
+	LostTokens              int
+	FailoverReprefillTokens int
+	Repins                  int
+	ShedArrivals            int
+
 	// ReplicaSeconds sums every replica's powered-on span (boot to power-off
 	// or makespan) — the fleet's provisioned capacity-time, the denominator
 	// of elastic efficiency. PeakReplicas is the most replicas ever powered
@@ -76,6 +93,19 @@ type FleetResult struct {
 	TPOT            stats.Summary
 	InteractiveTPOT stats.Summary
 	BatchTPOT       stats.Summary
+}
+
+// FailedRequest records one request the fleet terminally failed: it ran
+// out of retry budget (Reason "crash" or "timeout" names the final straw),
+// or no replica survived to serve it ("no-replicas" when failing fast,
+// "unserved" when it was still waiting for a replacement boot at the end of
+// the run).
+type FailedRequest struct {
+	ID       int
+	Class    workload.Class
+	Attempts int
+	Reason   string
+	At       units.Seconds
 }
 
 // DesignMetrics is one hardware design's share of a mixed fleet's run.
@@ -127,9 +157,25 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		}
 	}
 	for _, rep := range r.reps {
-		if rep.state != repStopped {
+		// Stopped replicas froze at power-off, crashed replicas at the
+		// failure instant: neither idles to the makespan.
+		if rep.state != repStopped && rep.state != repFailed {
 			rep.stepper.AdvanceTo(f.Makespan)
 		}
+	}
+
+	if r.resil != nil {
+		r.resil.closeLedger(f.Makespan)
+		f.Faults = r.resil.faults
+		f.Retries = r.resil.retried
+		f.FailedRequests = append([]FailedRequest(nil), r.resil.failures...)
+		sort.Slice(f.FailedRequests, func(i, j int) bool {
+			return f.FailedRequests[i].ID < f.FailedRequests[j].ID
+		})
+		f.LostTokens = r.resil.lostTokens
+		f.FailoverReprefillTokens = r.resil.reprefill
+		f.Repins = r.resil.repins
+		f.ShedArrivals = r.resil.shed
 	}
 
 	f.PeakReplicas = len(r.reps)
@@ -168,7 +214,7 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		f.Preemptions += res.Preemptions
 		f.Energy.Merge(&res.Energy)
 		end := f.Makespan
-		if rep.state == repStopped {
+		if rep.state == repStopped || rep.state == repFailed {
 			end = rep.stopAt
 		}
 		if span := end - rep.bootAt; span > 0 {
@@ -207,8 +253,12 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		acc.dm.TPOT = stats.Summarize(acc.tpots)
 		f.PerDesign = append(f.PerDesign, acc.dm)
 	}
-	if len(f.Requests) != want {
-		return nil, fmt.Errorf("cluster: %d of %d requests completed", len(f.Requests), want)
+	// Every injected request must be terminally accounted exactly once:
+	// completed (Requests) or failed (FailedRequests), never both, never
+	// neither.
+	if len(f.Requests)+len(f.FailedRequests) != want {
+		return nil, fmt.Errorf("cluster: %d of %d requests terminally accounted (%d completed + %d failed)",
+			len(f.Requests)+len(f.FailedRequests), want, len(f.Requests), len(f.FailedRequests))
 	}
 	sort.Slice(f.Requests, func(i, j int) bool { return f.Requests[i].ID < f.Requests[j].ID })
 	f.TTFT = stats.Summarize(ttfts)
@@ -218,13 +268,15 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 	return f, nil
 }
 
-// TokensPerSecond is the fleet's aggregate decode throughput over the
-// makespan.
+// TokensPerSecond is the fleet's aggregate decode goodput over the
+// makespan: generation sunk on crashed or timed-out attempts is real work
+// the hardware did, so it stays in Tokens and in the energy ledger, but it
+// reached no client and does not count as throughput.
 func (f *FleetResult) TokensPerSecond() float64 {
 	if f.Makespan <= 0 {
 		return 0
 	}
-	return float64(f.Tokens) / f.Makespan.Seconds()
+	return float64(f.Tokens-f.LostTokens) / f.Makespan.Seconds()
 }
 
 // RequestsPerSecond is the completed-request rate over the makespan.
@@ -236,15 +288,41 @@ func (f *FleetResult) RequestsPerSecond() float64 {
 }
 
 // Attainment scores the merged request set against a per-token SLO (see
-// serving.SLOAttainment for the single-token rule).
+// serving.SLOAttainment for the single-token rule). Failed and timed-out
+// requests never met any latency target: they stay in the denominator as
+// misses rather than silently vanishing from the score.
 func (f *FleetResult) Attainment(slo workload.SLO) float64 {
-	return serving.SLOAttainment(f.Requests, slo)
+	total := len(f.Requests) + len(f.FailedRequests)
+	if total == 0 {
+		return 0
+	}
+	return float64(serving.SLOMetCount(f.Requests, slo)) / float64(total)
 }
 
-// AttainmentClass scores one priority class against the SLO (1 when the
-// class is absent — an empty tier violates nothing).
+// AttainmentClass scores one priority class against the SLO, counting the
+// class's failed requests as misses (1 when the class is entirely absent —
+// an empty tier violates nothing).
 func (f *FleetResult) AttainmentClass(slo workload.SLO, class workload.Class) float64 {
-	return serving.SLOAttainmentClass(f.Requests, slo, class)
+	met, n := serving.SLOMetCountClass(f.Requests, slo, class)
+	for _, fr := range f.FailedRequests {
+		if fr.Class == class {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(met) / float64(n)
+}
+
+// Availability is the fraction of injected requests that completed at all —
+// the coarse measure failover exists to defend.
+func (f *FleetResult) Availability() float64 {
+	total := len(f.Requests) + len(f.FailedRequests)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(f.Requests)) / float64(total)
 }
 
 // JoulesPerToken is the fleet's energy cost per generated token — with the
@@ -282,6 +360,12 @@ func (f *FleetResult) String() string {
 	if f.Preemptions > 0 {
 		out += fmt.Sprintf("preemptions %d · interactive TPOT p95 %v · batch TPOT p95 %v\n",
 			f.Preemptions, units.Seconds(f.InteractiveTPOT.P95), units.Seconds(f.BatchTPOT.P95))
+	}
+	if f.Faults > 0 || len(f.FailedRequests) > 0 {
+		out += fmt.Sprintf("faults %d · retries %d · failed %d · availability %.3f · "+
+			"lost tokens %d · re-prefill %d · re-pins %d · shed %d\n",
+			f.Faults, f.Retries, len(f.FailedRequests), f.Availability(),
+			f.LostTokens, f.FailoverReprefillTokens, f.Repins, f.ShedArrivals)
 	}
 	if f.ScaleEvents != nil {
 		ups, drains := 0, 0

@@ -36,6 +36,7 @@ func Figures() []Figure {
 		{"elasticity", func() (fmt.Stringer, error) { return Elasticity(), nil }},
 		{"dse", func() (fmt.Stringer, error) { return DSE(), nil }},
 		{"kvcache", func() (fmt.Stringer, error) { return KVCache(), nil }},
+		{"resilience", func() (fmt.Stringer, error) { return Resilience(), nil }},
 	}
 }
 

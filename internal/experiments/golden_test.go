@@ -35,6 +35,7 @@ func goldenFigures() map[string]func() any {
 		"elasticity": func() any { return Elasticity() },
 		"dse":        func() any { return DSE() },
 		"kvcache":    func() any { return KVCache() },
+		"resilience": func() any { return Resilience() },
 	}
 }
 

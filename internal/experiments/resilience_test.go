@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The resilience matrix's directional acceptance: a mid-peak replica crash
+// must cost the static fleet its interactive p99 TPOT SLO for the rest of
+// the run, while the autoscaled fleet boots a replacement and re-attains it
+// — with no request lost under the retry budget either way.
+func TestResilienceDirectional(t *testing.T) {
+	r := Resilience()
+	if len(r.Cells) != 8 {
+		t.Fatalf("matrix has %d cells, want 8", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.Plan == "none" {
+			if c.Faults != 0 || c.Retries != 0 || c.Failed != 0 || c.ShedArrivals != 0 {
+				t.Fatalf("%s/none shows fault activity: %+v", c.Config, c)
+			}
+		} else if c.Faults == 0 {
+			t.Fatalf("%s/%s fired no fault", c.Config, c.Plan)
+		}
+		if c.Availability != 1 {
+			t.Fatalf("%s/%s lost requests: availability %v", c.Config, c.Plan, c.Availability)
+		}
+	}
+
+	auto, ok := r.Cell("autoscaled", "crash")
+	if !ok {
+		t.Fatal("matrix has no autoscaled/crash cell")
+	}
+	static, ok := r.Cell("static-3", "crash")
+	if !ok {
+		t.Fatal("matrix has no static-3/crash cell")
+	}
+	if auto.Retries == 0 || static.Retries == 0 {
+		t.Fatal("a mid-peak crash must force failover retries")
+	}
+	if auto.FailoverReprefillTokens == 0 || static.FailoverReprefillTokens == 0 {
+		t.Fatal("failover must re-prefill the lost contexts")
+	}
+	if !auto.RecoveredMeetsSLO(r.SLO) {
+		t.Fatalf("autoscaled fleet never re-attained the SLO after the crash: recovered p99 %v against %v",
+			auto.RecoveredInteractiveP99, r.SLO.TokenLatency)
+	}
+	if static.RecoveredMeetsSLO(r.SLO) {
+		t.Fatalf("static fleet re-attained the SLO without a replacement boot (recovered p99 %v) — the comparison lost its teeth",
+			static.RecoveredInteractiveP99)
+	}
+	if auto.ScaleUps == 0 {
+		t.Fatal("autoscaled recovery happened without a scale-up")
+	}
+	// The crash degrades the post-fault tail relative to the same fleet's
+	// fault-free run.
+	autoNone, _ := r.Cell("autoscaled", "none")
+	if auto.PostFaultInteractiveP99 <= autoNone.PostFaultInteractiveP99 {
+		t.Fatalf("crash did not degrade the autoscaled post-fault tail: %v vs %v",
+			auto.PostFaultInteractiveP99, autoNone.PostFaultInteractiveP99)
+	}
+
+	// Brownouts shed batch admissions, never interactive ones, and the
+	// parked work still completes (availability pinned to 1 above).
+	for _, config := range []string{"static-3", "autoscaled"} {
+		c, ok := r.Cell(config, "brownout")
+		if !ok {
+			t.Fatalf("matrix has no %s/brownout cell", config)
+		}
+		if c.ShedArrivals == 0 {
+			t.Fatalf("%s/brownout shed nothing", config)
+		}
+	}
+
+	// The interactive attainment denominators survived the faults: every
+	// cell scored a full tier.
+	for _, c := range r.Cells {
+		if c.InteractiveAttainment <= 0 || c.InteractiveAttainment > 1 {
+			t.Fatalf("%s/%s interactive attainment %v out of range", c.Config, c.Plan, c.InteractiveAttainment)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package faults is the deterministic fault injector's plan layer: a
+// byte-stable JSON description of when replicas crash, slow down, or lose
+// attention-link bandwidth. A Plan is pure data — the cluster layer schedules
+// each fault as a sim-kernel event, so a plan perturbs a run exactly as
+// reproducibly as the workload trace that drives it. Like traces and design
+// specs, export → import → export is byte-identical.
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+// Fault kinds. Each kind fixes which fields of Fault are meaningful; validate
+// enforces the shape so a plan cannot smuggle, say, a duration into a crash.
+const (
+	// KindCrash fails one replica instantly at At: its in-flight batch and
+	// queued requests are lost, its KV leases are surrendered, and it never
+	// serves again (replacement capacity arrives only via the autoscaler).
+	KindCrash = "crash"
+	// KindStraggler multiplies one replica's kernel latencies by Factor for
+	// the window [At, At+Duration): a slow node, a thermal throttle, a noisy
+	// neighbour. Factors from overlapping windows compound.
+	KindStraggler = "straggler"
+	// KindBrownout degrades the fleet-wide GPU↔PIM attention fabric for the
+	// window [At, At+Duration): attention and communication time scale by
+	// Factor on every replica, pricing reduced link bandwidth through the
+	// existing cost model. Replica must be zero (the fault is not per-node).
+	KindBrownout = "brownout"
+)
+
+// Fault is one scheduled failure event. At and Duration are kept in seconds
+// as float64s: Go marshals float64 with the shortest round-tripping decimal
+// form, so the same fault always yields the same bytes.
+type Fault struct {
+	Kind string `json:"kind"`
+	// Replica is the target replica index (crash, straggler). Brownouts hit
+	// the whole fleet and must leave it zero. A target beyond the fleet's
+	// size is a no-op, so one plan can be replayed against smaller fleets.
+	Replica int `json:"replica,omitempty"`
+	// At is the fault instant in simulated seconds.
+	At float64 `json:"at_s"`
+	// Duration is the window length for straggler and brownout faults;
+	// crashes are permanent and must leave it zero.
+	Duration float64 `json:"duration_s,omitempty"`
+	// Factor is the multiplicative slowdown (≥ 1) for straggler and brownout
+	// faults; crashes must leave it zero.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Start is the fault instant as a typed duration.
+func (f Fault) Start() units.Seconds { return units.Seconds(f.At) }
+
+// End is the end of the fault window; for a crash it equals Start.
+func (f Fault) End() units.Seconds { return units.Seconds(f.At + f.Duration) }
+
+// Window reports whether the fault occupies a time window (straggler,
+// brownout) rather than being an instant, permanent event (crash).
+func (f Fault) Window() bool { return f.Kind != KindCrash }
+
+// Plan is a named, seeded fault schedule. An empty Faults list is a valid
+// plan — "run with the fault machinery armed but quiet" — which the
+// equivalence tests use to pin that an inert plan perturbs nothing.
+type Plan struct {
+	Name string `json:"name"`
+	// Seed records the generator seed for MTBF-style plans (zero for
+	// hand-written ones); it is provenance, not replayed state.
+	Seed   int64   `json:"seed,omitempty"`
+	Faults []Fault `json:"faults"`
+}
+
+// Export serialises the plan as indented JSON with a trailing newline.
+// Serialisation is deterministic: struct fields marshal in declaration order
+// and float64s use the shortest round-tripping form, so the same plan always
+// yields the same bytes.
+func (p Plan) Export() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ImportPlan parses and validates an exported fault plan.
+func ImportPlan(data []byte) (Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faults: invalid plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Validate checks the plan's shape: a name, and every fault well-formed for
+// its kind.
+func (p Plan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("faults: plan has no name")
+	}
+	for i, f := range p.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("faults: plan %q fault %d at negative time %g", p.Name, i, f.At)
+		}
+		if f.Replica < 0 {
+			return fmt.Errorf("faults: plan %q fault %d targets negative replica %d", p.Name, i, f.Replica)
+		}
+		switch f.Kind {
+		case KindCrash:
+			if f.Duration != 0 || f.Factor != 0 {
+				return fmt.Errorf("faults: plan %q fault %d: a crash is permanent and total; duration and factor must be zero", p.Name, i)
+			}
+		case KindStraggler, KindBrownout:
+			if f.Duration <= 0 {
+				return fmt.Errorf("faults: plan %q fault %d: %s needs a positive duration, got %g", p.Name, i, f.Kind, f.Duration)
+			}
+			if f.Factor < 1 {
+				return fmt.Errorf("faults: plan %q fault %d: %s needs a slowdown factor ≥ 1, got %g", p.Name, i, f.Kind, f.Factor)
+			}
+			if f.Kind == KindBrownout && f.Replica != 0 {
+				return fmt.Errorf("faults: plan %q fault %d: a brownout degrades the whole fleet; replica must be zero", p.Name, i)
+			}
+		default:
+			return fmt.Errorf("faults: plan %q fault %d has unknown kind %q", p.Name, i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// MTBFOptions parameterises GenerateMTBF. MTBF and MTTR are the exponential
+// means for time-between-failures (per replica) and repair windows.
+type MTBFOptions struct {
+	// Name labels the generated plan; required.
+	Name string
+	// Replicas is how many replica failure domains to draw for.
+	Replicas int
+	// Horizon bounds the plan: no fault starts at or after it.
+	Horizon units.Seconds
+	// MTBF is the mean time between failures for each replica.
+	MTBF units.Seconds
+	// MTTR is the mean window length for non-crash faults.
+	MTTR units.Seconds
+	// Seed seeds the generator; the same options always yield the same plan.
+	Seed int64
+	// CrashWeight is the probability a drawn failure is a crash (the rest
+	// split evenly between straggler and brownout). Zero means 0.25.
+	CrashWeight float64
+}
+
+// GenerateMTBF draws a seeded stochastic fault plan: each replica fails as a
+// Poisson process with the given MTBF, each failure is a crash with
+// CrashWeight probability (a crashed replica draws no further faults) or
+// otherwise a straggler/brownout window with an exponential MTTR duration
+// and a factor in [2, 4). The draw order is fixed — replica by replica, then
+// time order within a replica — so the plan is a pure function of its
+// options.
+func GenerateMTBF(opt MTBFOptions) (Plan, error) {
+	if opt.Name == "" {
+		return Plan{}, fmt.Errorf("faults: MTBF plan has no name")
+	}
+	if opt.Replicas <= 0 {
+		return Plan{}, fmt.Errorf("faults: MTBF plan needs at least one replica, got %d", opt.Replicas)
+	}
+	if opt.Horizon <= 0 || opt.MTBF <= 0 || opt.MTTR <= 0 {
+		return Plan{}, fmt.Errorf("faults: MTBF plan needs positive horizon, MTBF and MTTR")
+	}
+	crashW := opt.CrashWeight
+	if crashW == 0 {
+		crashW = 0.25
+	}
+	if crashW < 0 || crashW > 1 {
+		return Plan{}, fmt.Errorf("faults: crash weight %g outside [0, 1]", crashW)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	p := Plan{Name: opt.Name, Seed: opt.Seed}
+	for rep := 0; rep < opt.Replicas; rep++ {
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() * opt.MTBF.Seconds()
+			if t >= opt.Horizon.Seconds() {
+				break
+			}
+			if rng.Float64() < crashW {
+				p.Faults = append(p.Faults, Fault{Kind: KindCrash, Replica: rep, At: t})
+				break // a crashed replica cannot fail again
+			}
+			f := Fault{
+				At:       t,
+				Duration: rng.ExpFloat64() * opt.MTTR.Seconds(),
+				Factor:   2 + 2*rng.Float64(),
+			}
+			if f.Duration <= 0 {
+				f.Duration = opt.MTTR.Seconds()
+			}
+			if rng.Float64() < 0.5 {
+				f.Kind = KindStraggler
+				f.Replica = rep
+			} else {
+				f.Kind = KindBrownout
+			}
+			p.Faults = append(p.Faults, f)
+			t += f.Duration // windows on one replica do not overlap themselves
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/units"
+)
+
+func samplePlan() Plan {
+	return Plan{
+		Name: "sample",
+		Faults: []Fault{
+			{Kind: KindCrash, Replica: 1, At: 2.5},
+			{Kind: KindStraggler, Replica: 0, At: 1, Duration: 0.75, Factor: 3},
+			{Kind: KindBrownout, At: 4, Duration: 2, Factor: 1.5},
+		},
+	}
+}
+
+// Export → import → export must be byte-identical: the plan is provenance for
+// golden results, so its serialisation cannot wobble.
+func TestPlanRoundTripByteStable(t *testing.T) {
+	p := samplePlan()
+	first, err := p.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	back, err := ImportPlan(first)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	second, err := back.Export()
+	if err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Fatal("export has no trailing newline")
+	}
+}
+
+// An empty fault list is a valid plan — the fault-off equivalence pin runs
+// fleets with the machinery armed but inert.
+func TestEmptyPlanValid(t *testing.T) {
+	p := Plan{Name: "quiet"}
+	if !p.Empty() {
+		t.Fatal("plan with no faults should report Empty")
+	}
+	data, err := p.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if _, err := ImportPlan(data); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"no name", Plan{}, "no name"},
+		{"negative time", Plan{Name: "p", Faults: []Fault{{Kind: KindCrash, At: -1}}}, "negative time"},
+		{"negative replica", Plan{Name: "p", Faults: []Fault{{Kind: KindCrash, Replica: -1}}}, "negative replica"},
+		{"crash with duration", Plan{Name: "p", Faults: []Fault{{Kind: KindCrash, Duration: 1}}}, "must be zero"},
+		{"crash with factor", Plan{Name: "p", Faults: []Fault{{Kind: KindCrash, Factor: 2}}}, "must be zero"},
+		{"straggler no duration", Plan{Name: "p", Faults: []Fault{{Kind: KindStraggler, Factor: 2}}}, "positive duration"},
+		{"straggler weak factor", Plan{Name: "p", Faults: []Fault{{Kind: KindStraggler, Duration: 1, Factor: 0.5}}}, "factor"},
+		{"brownout per replica", Plan{Name: "p", Faults: []Fault{{Kind: KindBrownout, Replica: 2, Duration: 1, Factor: 2}}}, "whole fleet"},
+		{"unknown kind", Plan{Name: "p", Faults: []Fault{{Kind: "meteor"}}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if err == nil {
+			t.Errorf("%s: validate accepted an invalid plan", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestImportRejectsUnknownFields(t *testing.T) {
+	if _, err := ImportPlan([]byte(`{"name":"p","faults":[],"severity":9}`)); err == nil {
+		t.Fatal("import accepted an unknown field")
+	}
+}
+
+func TestFaultAccessors(t *testing.T) {
+	f := Fault{Kind: KindStraggler, At: 1.5, Duration: 2, Factor: 3}
+	if f.Start() != units.Seconds(1.5) {
+		t.Fatalf("Start = %v", f.Start())
+	}
+	if f.End() != units.Seconds(3.5) {
+		t.Fatalf("End = %v", f.End())
+	}
+	if !f.Window() {
+		t.Fatal("straggler should be a window fault")
+	}
+	c := Fault{Kind: KindCrash, At: 2}
+	if c.Window() {
+		t.Fatal("crash should not be a window fault")
+	}
+	if c.End() != c.Start() {
+		t.Fatal("crash window should be empty")
+	}
+}
+
+// The MTBF generator is a pure function of its options: same seed, same
+// plan; different seed, (almost surely) a different one.
+func TestGenerateMTBFDeterministic(t *testing.T) {
+	opt := MTBFOptions{
+		Name:     "mtbf",
+		Replicas: 4,
+		Horizon:  units.Seconds(100),
+		MTBF:     units.Seconds(20),
+		MTTR:     units.Seconds(2),
+		Seed:     7,
+	}
+	a, err := GenerateMTBF(opt)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := GenerateMTBF(opt)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ab, _ := a.Export()
+	bb, _ := b.Export()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same options generated different plans")
+	}
+	if a.Empty() {
+		t.Fatal("a 100 s horizon at MTBF 20 s over 4 replicas should draw faults")
+	}
+	opt.Seed = 8
+	c, err := GenerateMTBF(opt)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	cb, _ := c.Export()
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds generated identical plans")
+	}
+}
+
+func TestGenerateMTBFRejections(t *testing.T) {
+	base := MTBFOptions{Name: "m", Replicas: 1, Horizon: 10, MTBF: 5, MTTR: 1}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*MTBFOptions)
+	}{
+		{"no name", func(o *MTBFOptions) { o.Name = "" }},
+		{"no replicas", func(o *MTBFOptions) { o.Replicas = 0 }},
+		{"no horizon", func(o *MTBFOptions) { o.Horizon = 0 }},
+		{"bad weight", func(o *MTBFOptions) { o.CrashWeight = 2 }},
+	} {
+		o := base
+		tc.mutate(&o)
+		if _, err := GenerateMTBF(o); err == nil {
+			t.Errorf("%s: generator accepted invalid options", tc.name)
+		}
+	}
+}

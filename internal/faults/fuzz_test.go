@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFaultPlanRoundTrip feeds arbitrary bytes to the importer. Whatever it
+// accepts must re-export byte-identically — the same stability contract the
+// trace and design-spec importers carry.
+func FuzzFaultPlanRoundTrip(f *testing.F) {
+	seed, err := samplePlan().Export()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"quiet","faults":[]}`))
+	f.Add([]byte(`{"name":"one","seed":3,"faults":[{"kind":"crash","at_s":0}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ImportPlan(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		first, err := p.Export()
+		if err != nil {
+			t.Fatalf("accepted plan failed to export: %v", err)
+		}
+		back, err := ImportPlan(first)
+		if err != nil {
+			t.Fatalf("exported plan failed to re-import: %v", err)
+		}
+		second, err := back.Export()
+		if err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
+}

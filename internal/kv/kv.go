@@ -217,6 +217,12 @@ type Stats struct {
 	// PeakCommitted is the high-water mark of committed hot slots
 	// (referenced blocks plus growth reservations).
 	PeakCommitted int
+
+	// Fault-path accounting: leases surrendered to a crash or cancellation,
+	// and the blocks whose cached state died with them. Omitted when zero so
+	// fault-free Results keep their pre-fault serialisation byte-for-byte.
+	SurrenderedLeases int `json:",omitempty"`
+	LostBlocks        int `json:",omitempty"`
 }
 
 // Store is a block-granular KV cache for one serving engine. It is not

@@ -430,6 +430,35 @@ func (s *Store) Commit(l *Lease) {
 	l.parked = false
 }
 
+// Surrender abandons a lease whose owner is gone — a crashed replica's
+// request, or one cancelled by a timeout. Unlike Park, nothing is preserved
+// for revival: every block the lease alone referenced is freed outright (its
+// cached state died with the owner; there is no write-back, because there is
+// nobody to drain it for), while blocks shared with other leases survive
+// untouched. A parked lease holds no references, so surrendering it just
+// clears the chain, exactly as Commit's inactive branch does. Surrender is
+// idempotent on an already-cleared lease.
+func (s *Store) Surrender(l *Lease) {
+	if l.active {
+		for i := len(l.blocks) - 1; i >= 0; i-- {
+			id := l.blocks[i]
+			if !s.decref(id) {
+				continue
+			}
+			s.freeBlock(id)
+			s.stats.LostBlocks++
+		}
+		s.reserve -= l.reserve
+	}
+	l.reserve = 0
+	l.blocks = l.blocks[:0]
+	if l.active || l.parked {
+		s.stats.SurrenderedLeases++
+	}
+	l.active = false
+	l.parked = false
+}
+
 // ParkGain reports exactly how many committed hot slots parking this lease
 // would release: blocks only it references, plus its growth reservation.
 // The preemption loop uses it as an all-or-nothing precheck before evicting

@@ -23,9 +23,10 @@ func (r *opReader) next() (byte, bool) {
 }
 
 // driveBlockStore interprets data as a store geometry plus an operation
-// sequence — admissions, extends, parks, resumes, commits, cancels — and
-// audits every invariant after every single operation. It returns the final
-// cumulative Stats so callers can assert run-to-run determinism.
+// sequence — admissions, extends, parks, resumes, commits, cancels,
+// surrenders — and audits every invariant after every single operation. It
+// returns the final cumulative Stats so callers can assert run-to-run
+// determinism.
 //
 // This is the satellite-1 harness: refcount conservation, the
 // free/referenced exclusion, tier occupancy ≡ resident bytes, and
@@ -69,7 +70,7 @@ func driveBlockStore(t *testing.T, data []byte) Stats {
 		a1, _ := r.next()
 		a2, _ := r.next()
 		a3, _ := r.next()
-		switch op % 6 {
+		switch op % 7 {
 		case 0: // new lease + admission attempt
 			salt++
 			group := []int64{0, 1, 2, -1}[int(a1)%4]
@@ -139,6 +140,20 @@ func driveBlockStore(t *testing.T, data []byte) Stats {
 			s.Commit(parked[i])
 			parked = append(parked[:i], parked[i+1:]...)
 			audit("cancel")
+		case 6: // surrender (crash/timeout loss) an admitted or parked lease
+			if len(admitted)+len(parked) == 0 {
+				continue
+			}
+			i := int(a1) % (len(admitted) + len(parked))
+			if i < len(admitted) {
+				s.Surrender(admitted[i])
+				admitted = append(admitted[:i], admitted[i+1:]...)
+			} else {
+				i -= len(admitted)
+				s.Surrender(parked[i])
+				parked = append(parked[:i], parked[i+1:]...)
+			}
+			audit("surrender")
 		}
 	}
 

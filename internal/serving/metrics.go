@@ -41,6 +41,14 @@ func SLOAttainment(reqs []RequestMetrics, slo workload.SLO) float64 {
 	if len(reqs) == 0 {
 		return 0
 	}
+	return float64(SLOMetCount(reqs, slo)) / float64(len(reqs))
+}
+
+// SLOMetCount counts the requests meeting the per-token SLO (same
+// single-token rule as SLOAttainment). Exposing the count rather than the
+// ratio lets the fleet aggregate choose an honest denominator: terminally
+// failed requests have no metrics record but must still count as misses.
+func SLOMetCount(reqs []RequestMetrics, slo workload.SLO) int {
 	met := 0
 	for _, r := range reqs {
 		lat := r.TPOT
@@ -51,14 +59,12 @@ func SLOAttainment(reqs []RequestMetrics, slo workload.SLO) float64 {
 			met++
 		}
 	}
-	return float64(met) / float64(len(reqs))
+	return met
 }
 
-// SLOAttainmentClass scores only the requests of one priority class against
-// the per-token SLO (same single-token rule as SLOAttainment). It returns 1
-// when the class is absent from the set: an empty tier violates nothing.
-func SLOAttainmentClass(reqs []RequestMetrics, slo workload.SLO, class workload.Class) float64 {
-	met, n := 0, 0
+// SLOMetCountClass counts one priority class's requests meeting the SLO,
+// returning the met count and how many requests of the class were present.
+func SLOMetCountClass(reqs []RequestMetrics, slo workload.SLO, class workload.Class) (met, n int) {
 	for _, r := range reqs {
 		if r.Class != class {
 			continue
@@ -72,6 +78,14 @@ func SLOAttainmentClass(reqs []RequestMetrics, slo workload.SLO, class workload.
 			met++
 		}
 	}
+	return met, n
+}
+
+// SLOAttainmentClass scores only the requests of one priority class against
+// the per-token SLO (same single-token rule as SLOAttainment). It returns 1
+// when the class is absent from the set: an empty tier violates nothing.
+func SLOAttainmentClass(reqs []RequestMetrics, slo workload.SLO, class workload.Class) float64 {
+	met, n := SLOMetCountClass(reqs, slo, class)
 	if n == 0 {
 		return 1
 	}
@@ -133,10 +147,18 @@ func (m *metricsTracker) observeRun(r *request, run int, firstClock, lastClock, 
 }
 
 // finalize computes TPOTs and returns the metrics in request-ID order
-// matching the input order given.
+// matching the input order given. An ID appearing twice in order (a
+// timeout-retry re-landing on the same replica re-enters the input list)
+// yields one record; surrendered requests (crash, cancel) have no record and
+// yield none.
 func (m *metricsTracker) finalize(order []workload.Request) []RequestMetrics {
 	out := make([]RequestMetrics, 0, len(order))
+	seen := make(map[int]bool, len(order))
 	for _, req := range order {
+		if seen[req.ID] {
+			continue
+		}
+		seen[req.ID] = true
 		rm, ok := m.byID[req.ID]
 		if !ok {
 			continue

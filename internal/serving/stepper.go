@@ -106,6 +106,16 @@ type Stepper struct {
 	// unknowable up front.
 	traceHint int
 
+	// perturb is the fault injector's latency perturbation (see
+	// SetPerturbation); perturbed caches whether it is active, because the
+	// check sits on the per-iteration hot path and disables macro-stepping.
+	perturb   Perturbation
+	perturbed bool
+	// failed marks a crashed replica's stepper: Fail was called, every
+	// outstanding request was surrendered, and the stepper only reports
+	// StepDrained from here on.
+	failed bool
+
 	finalized bool
 }
 
@@ -320,6 +330,9 @@ func (s *Stepper) Push(r workload.Request) error {
 	if s.static {
 		return fmt.Errorf("serving: cannot push into a static batch stepper")
 	}
+	if s.failed {
+		return fmt.Errorf("serving: cannot push request %d into a failed stepper", r.ID)
+	}
 	if r.InputLen <= 0 || r.OutputLen <= 0 {
 		return fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 	}
@@ -523,6 +536,11 @@ func (s *Stepper) admit() error {
 	var pt units.Seconds
 	if len(inputs) > 0 {
 		pt = s.eng.runPrefill(inputs, &s.res)
+		// A straggling replica prefills slower too; brownout (Attn) is a
+		// decode-side attention-fabric effect and leaves prefill alone.
+		if f := s.perturb.Slow; s.perturbed && f > 1 {
+			pt += pt.Scale(f - 1)
+		}
 	}
 	pt += xferTime
 	s.res.PrefillTime += pt
@@ -644,6 +662,9 @@ func (s *Stepper) preemptFor(cand *request, xt *units.Seconds, xe *units.Joules)
 // meant to inject at, admitting the request later than single-stepping
 // would. internal/cluster does exactly this with its event-kernel horizon.
 func (s *Stepper) Step() (StepInfo, error) {
+	if s.failed {
+		return StepInfo{Kind: StepDrained}, nil
+	}
 	if !s.static {
 		if err := s.admit(); err != nil {
 			return StepInfo{}, err
@@ -692,17 +713,26 @@ func (s *Stepper) Step() (StepInfo, error) {
 	// sampling but rides the memoized cost tables. Tiered streams (both
 	// priority classes outstanding) single-step: a macro window's
 	// head-of-queue bound cannot see mid-window priority admissions or
-	// preemptions.
-	if s.eng.fastPath && s.eng.Opt.TLP == 1 && !s.tiered() {
+	// preemptions. Perturbed steppers (straggler/brownout windows) also
+	// single-step: the stretch is priced per iteration, and a window edge may
+	// land on any iteration boundary.
+	if s.eng.fastPath && s.eng.Opt.TLP == 1 && !s.tiered() && !s.perturbed {
 		return s.macroStep()
 	}
 
 	ev := s.scheduler.Decide()
+	var pre TimeBreakdown
+	if s.perturbed {
+		pre = s.res.Breakdown
+	}
 	var it IterationStat
 	if s.eng.fastPath {
 		it = s.eng.runIterationFast(len(s.active), s.kvSum, ev, &s.res)
 	} else {
 		it = s.eng.runIteration(s.active, ev, &s.res)
+	}
+	if s.perturbed {
+		s.stretch(&it, pre)
 	}
 	s.res.Iterations++
 	if len(s.res.RLPTrace) < traceCap {

@@ -20,6 +20,9 @@
 //     admission and batch preemption;
 //   - fleet-level cluster serving with routers and SLO-driven elastic
 //     autoscaling (warm-up, graceful drain, replica-seconds accounting);
+//   - deterministic fault injection (replayable crash/straggler/brownout
+//     plans) with bounded-retry failover, request timeouts, and
+//     availability accounting;
 //   - every figure reproduction from the paper's evaluation section.
 //
 // Quick start:
@@ -37,6 +40,7 @@ import (
 	"github.com/papi-sim/papi/internal/cluster"
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/design"
+	"github.com/papi-sim/papi/internal/faults"
 	"github.com/papi-sim/papi/internal/kv"
 	"github.com/papi-sim/papi/internal/model"
 	"github.com/papi-sim/papi/internal/pim"
@@ -301,11 +305,14 @@ func SLOAttainment(reqs []RequestMetrics, slo SLO) float64 {
 type Cluster = cluster.Cluster
 
 // ClusterOptions configures a fleet: replica count, admission cap, router,
-// and per-replica serving options.
+// per-replica serving options, and optionally a fault plan with its
+// bounded-retry/timeout failover policy.
 type ClusterOptions = cluster.Options
 
 // FleetResult aggregates one cluster run: per-replica results, aggregate
-// throughput and energy, and p50/p95/p99 TTFT/TPOT digests.
+// throughput and energy, p50/p95/p99 TTFT/TPOT digests, and — under fault
+// injection — the resilience ledger (faults fired, retries, failed
+// requests, availability).
 type FleetResult = cluster.FleetResult
 
 // Router spreads an arrival stream over the fleet's replicas.
@@ -377,6 +384,38 @@ const (
 func DefaultAutoscale(min, max int, slo SLO) *AutoscaleOptions {
 	return cluster.DefaultAutoscale(min, max, slo)
 }
+
+// Resilience (deterministic fault injection; see docs/RESILIENCE.md).
+
+// FaultPlan is a named, replayable fault schedule with byte-stable JSON
+// export/import; set ClusterOptions.Faults to inject it into a fleet run.
+type FaultPlan = faults.Plan
+
+// Fault is one scheduled failure event in a plan: a permanent replica
+// crash, a per-replica straggler window, or a fleet-wide brownout window.
+type Fault = faults.Fault
+
+// Fault kinds for Fault.Kind.
+const (
+	FaultCrash     = faults.KindCrash
+	FaultStraggler = faults.KindStraggler
+	FaultBrownout  = faults.KindBrownout
+)
+
+// MTBFOptions parameterises GenerateMTBFPlan (exponential mean time between
+// failures and repair windows, per replica failure domain).
+type MTBFOptions = faults.MTBFOptions
+
+// GenerateMTBFPlan draws a seeded stochastic fault plan — a pure function
+// of its options, so the same options always yield the same plan.
+func GenerateMTBFPlan(opt MTBFOptions) (FaultPlan, error) { return faults.GenerateMTBF(opt) }
+
+// ImportFaultPlan parses and validates an exported fault plan.
+func ImportFaultPlan(data []byte) (FaultPlan, error) { return faults.ImportPlan(data) }
+
+// FailedRequest is one request a fleet run terminally failed after
+// exhausting its retry budget (FleetResult.FailedRequests).
+type FailedRequest = cluster.FailedRequest
 
 // SLOAttainmentClass scores one priority class of a request set against the
 // per-token SLO (1 when the class is absent).

@@ -2,6 +2,7 @@ package papi
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,12 +70,14 @@ func TestFacadeConstructors(t *testing.T) {
 	}
 }
 
-// Every design spec file shipped under examples/ must import, build, and
-// be the byte-stable export of its own spec. README and docs/DESIGNS.md
-// quote these files in runnable commands, and the docs cross-check
-// deliberately skips file-path -design values — this is the drift net for
-// the files themselves (a renamed spec field or a stale regeneration fails
-// here, not in a reader's terminal).
+// Every JSON artifact shipped under examples/ must import, validate, and
+// be the byte-stable export of its own value — design specs build a
+// System, fault plans validate as plans. README and the docs quote these
+// files in runnable commands, and the docs cross-check deliberately skips
+// file-path flag values — this is the drift net for the files themselves
+// (a renamed field or a stale regeneration fails here, not in a reader's
+// terminal). Fault plans are recognised by their "faults" key; everything
+// else must be a design spec.
 func TestShippedDesignSpecsResolve(t *testing.T) {
 	paths, err := filepath.Glob(filepath.Join("examples", "*", "*.json"))
 	if err != nil {
@@ -87,6 +90,25 @@ func TestShippedDesignSpecsResolve(t *testing.T) {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
+		}
+		var probe struct {
+			Faults []json.RawMessage `json:"faults"`
+		}
+		if json.Unmarshal(data, &probe) == nil && probe.Faults != nil {
+			plan, err := ImportFaultPlan(data)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			out, err := plan.Export()
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if !bytes.Equal(out, data) {
+				t.Errorf("%s is not the byte-stable export of its own fault plan; regenerate it", path)
+			}
+			continue
 		}
 		spec, err := ImportDesignSpec(data)
 		if err != nil {

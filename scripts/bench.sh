@@ -20,7 +20,7 @@ shift
 cd "$(dirname "$0")/.."
 
 go test -run '^$' \
-    -bench 'BenchmarkCapacitySweep|BenchmarkScenarios|BenchmarkServingIteration|BenchmarkKVBlockStore' \
+    -bench 'BenchmarkCapacitySweep|BenchmarkScenarios|BenchmarkServingIteration|BenchmarkKVBlockStore|BenchmarkResilience' \
     -benchmem -benchtime "${BENCHTIME:-50x}" "$@" . \
     | tee /dev/stderr \
     | go run ./cmd/benchjson > "BENCH_PR${PR}.json"
