@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse,kvcache,resilience)")
+	which := flag.String("figure", "", "run a single figure (2,3,4,6,7e,7p,8,9,10,11,12,ablation-*,capacity,scenarios,elasticity,dse,kvcache,resilience,scale)")
 	designArg := flag.String("design", "", "inspect one hardware design (registry name or spec .json file): validate, print its spec and derived capacities, then exit")
 	listDesigns := flag.Bool("list-designs", false, "list the named hardware designs in the registry and exit")
 	faultsArg := flag.String("faults", "", "inspect one fault plan .json: validate, print its schedule, then exit (see docs/RESILIENCE.md)")

@@ -26,6 +26,8 @@
 //	papiserve -scenario chat-multiturn -kv-blocks 32 -kv-cold 4 -requests 48
 //	papiserve -faults examples/resilience/crash-peak.json -autoscale 1:4 -retries 2
 //	papiserve -timeout 5 -retries 1 -rate 40 -requests 96
+//	papiserve -scenario tiered-diurnal -requests 100000 -shards 8
+//	papiserve -rate 50 -requests 5000 -checkpoint day.json
 package main
 
 import (
@@ -72,6 +74,9 @@ func main() {
 		faultsIn  = flag.String("faults", "", "inject a fault plan .json (crashes, stragglers, brownouts; see docs/RESILIENCE.md)")
 		retries   = flag.Int("retries", 2, "bounded failover: retry a request lost to a crash or timeout at most this many times")
 		timeoutS  = flag.Float64("timeout", 0, "per-attempt request timeout in seconds (0 = none); timed-out attempts cancel and retry under -retries")
+		shards    = flag.Int("shards", 1, "drive independent replicas on up to this many goroutines between fleet sync points; results are bit-identical to serial (open-loop streams only, see docs/SCALE.md)")
+		checkpt   = flag.String("checkpoint", "", "merge this run's mergeable fleet snapshot into the named .json (created if absent), so long runs split across invocations")
+		retain    = flag.Bool("retain-requests", false, "keep every per-request metrics record (FleetResult.Requests); off by default so large runs stay constant-memory")
 	)
 	flag.Parse()
 
@@ -90,6 +95,7 @@ func main() {
 		spec: *spec, seed: *seed, rate: *rate, sloMS: *sloMS, target: *target,
 		classes: *classes, kvBlocks: *kvBlocks, kvCold: *kvCold,
 		faults: *faultsIn, retries: *retries, timeoutS: *timeoutS,
+		shards: *shards, checkpoint: *checkpt, retainRequests: *retain,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
@@ -98,11 +104,12 @@ func main() {
 
 type options struct {
 	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
-	autoscale, faults                                                          string
+	autoscale, faults, checkpoint                                              string
 
-	replicas, requests, maxBatch, spec, kvBlocks, retries int
-	seed                                                  int64
-	rate, sloMS, target, classes, kvCold, timeoutS        float64
+	replicas, requests, maxBatch, spec, kvBlocks, retries, shards int
+	seed                                                          int64
+	rate, sloMS, target, classes, kvCold, timeoutS                float64
+	retainRequests                                                bool
 }
 
 func run(o options) error {
@@ -171,6 +178,9 @@ func run(o options) error {
 	if o.kvBlocks > 0 {
 		opt.KV = &kv.Options{BlockTokens: o.kvBlocks, Sharing: true, ColdFactor: o.kvCold}
 	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards %d must be ≥ 1", o.shards)
+	}
 	copt := cluster.Options{
 		Replicas:  o.replicas,
 		MaxBatch:  o.maxBatch,
@@ -179,6 +189,12 @@ func run(o options) error {
 		Autoscale: auto,
 		Retries:   o.retries,
 		Timeout:   units.Seconds(o.timeoutS),
+		Shards:    o.shards,
+		// Per-request records and the realised stream are opt-in: the
+		// streaming aggregate already carries the digests, so by default a
+		// run's memory stays constant in stream length.
+		RetainRequests: o.retainRequests,
+		RetainStream:   o.traceOut != "",
 	}
 	if o.faults != "" {
 		data, err := os.ReadFile(o.faults)
@@ -284,6 +300,39 @@ func run(o options) error {
 		}
 		fmt.Printf("saved %d realised arrivals to %s\n", len(tr.Requests), o.traceOut)
 	}
+	if o.checkpoint != "" {
+		if err := mergeCheckpoint(o.checkpoint, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeCheckpoint folds the run's mergeable snapshot into the named file:
+// absent, the file becomes this run's checkpoint; present, it accumulates —
+// so a long run split across invocations keeps one merged ledger and digest.
+func mergeCheckpoint(path string, f *cluster.FleetResult) error {
+	cp := f.Checkpoint()
+	if data, err := os.ReadFile(path); err == nil {
+		prior, err := cluster.ImportCheckpoint(data)
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		if err := prior.Merge(cp); err != nil {
+			return err
+		}
+		cp = prior
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	data, err := cp.Export()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s now merges %d segment(s):\n%s", path, cp.Runs, cp)
 	return nil
 }
 

@@ -94,7 +94,7 @@ func TestDesignDocsMatchRegistry(t *testing.T) {
 // docs/ARCHITECTURE.md and docs/TESTING.md are the entry points; keep them
 // present and linked from the README (and TESTING from ARCHITECTURE).
 func TestDocsPresentAndLinked(t *testing.T) {
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/KVCACHE.md", "docs/RESILIENCE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/KVCACHE.md", "docs/RESILIENCE.md", "docs/SCALE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Fatalf("%s missing: %v", doc, err)
 		}
@@ -103,7 +103,7 @@ func TestDocsPresentAndLinked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/KVCACHE.md", "docs/RESILIENCE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/DESIGNS.md", "docs/SCENARIOS.md", "docs/PERFORMANCE.md", "docs/KVCACHE.md", "docs/RESILIENCE.md", "docs/SCALE.md", "docs/TESTING.md", "docs/ANALYSIS.md"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not link %s", want)
 		}
@@ -118,6 +118,9 @@ func TestDocsPresentAndLinked(t *testing.T) {
 	if !strings.Contains(string(arch), "RESILIENCE.md") {
 		t.Error("docs/ARCHITECTURE.md does not link docs/RESILIENCE.md")
 	}
+	if !strings.Contains(string(arch), "SCALE.md") {
+		t.Error("docs/ARCHITECTURE.md does not link docs/SCALE.md")
+	}
 	testingDoc, err := os.ReadFile("docs/TESTING.md")
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +130,9 @@ func TestDocsPresentAndLinked(t *testing.T) {
 	}
 	if !strings.Contains(string(testingDoc), "RESILIENCE.md") {
 		t.Error("docs/TESTING.md does not link docs/RESILIENCE.md")
+	}
+	if !strings.Contains(string(testingDoc), "SCALE.md") {
+		t.Error("docs/TESTING.md does not link docs/SCALE.md")
 	}
 }
 
@@ -141,6 +147,7 @@ var commandDocs = []string{
 	"docs/PERFORMANCE.md",
 	"docs/KVCACHE.md",
 	"docs/RESILIENCE.md",
+	"docs/SCALE.md",
 	"docs/TESTING.md",
 	"docs/ANALYSIS.md",
 }
@@ -153,7 +160,8 @@ var commandFlags = map[string]map[string]bool{
 	"papiserve": set("design", "list-designs", "model", "dataset", "replicas",
 		"router", "rate", "requests", "maxbatch", "spec", "seed", "slo",
 		"target", "sweep", "scenario", "trace", "save-trace", "autoscale",
-		"classes", "kv-blocks", "kv-cold", "faults", "retries", "timeout"),
+		"classes", "kv-blocks", "kv-cold", "faults", "retries", "timeout",
+		"shards", "checkpoint", "retain-requests"),
 	"papibench": set("figure", "design", "list-designs", "fastpath",
 		"cpuprofile", "memprofile", "faults"),
 	"papivet": set("waivers"),

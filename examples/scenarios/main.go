@@ -50,6 +50,8 @@ func main() {
 			MaxBatch: 16,
 			Router:   papi.LeastOutstanding(),
 			Serving:  papi.DefaultOptions(1),
+			// The realised stream feeds the trace export below.
+			RetainStream: true,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -96,10 +98,11 @@ func main() {
 		turns += len(conv.Turns)
 	}
 	c, err := papi.NewCluster(papi.NewPAPI, papi.LLaMA65B(), papi.ClusterOptions{
-		Replicas: 2,
-		MaxBatch: 16,
-		Router:   papi.LeastOutstanding(),
-		Serving:  papi.DefaultOptions(1),
+		Replicas:     2,
+		MaxBatch:     16,
+		Router:       papi.LeastOutstanding(),
+		Serving:      papi.DefaultOptions(1),
+		RetainStream: true, // inspect the realised multi-turn arrivals
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/papi-sim/papi/internal/serving"
 	"github.com/papi-sim/papi/internal/stats"
@@ -164,17 +165,27 @@ type scaler struct {
 
 // observeStep harvests completion signals from one replica step: interactive
 // TPOT samples for the latency window, and the moment a draining replica
-// runs empty (it powers off right there, not at the next tick).
+// runs empty (it powers off right there, not at the next tick). Window
+// samples buffer on the replica — the sharded parallel phase may run this
+// for distinct replicas concurrently, so nothing shared is written here —
+// and the control tick merges the buffers in replica order.
 func (s *scaler) observeStep(rep *Replica, info serving.StepInfo) {
 	for _, req := range info.Finished {
 		if req.Class != workload.ClassInteractive {
 			continue
 		}
 		if pm, ok := rep.stepper.PeekMetrics(req.ID); ok && pm.OutputTokens > 1 {
-			s.tpots = append(s.tpots, pm.TPOT.Seconds())
+			rep.winTPOT = append(rep.winTPOT, pm.TPOT.Seconds())
 		}
 	}
 	if rep.state == repDraining && info.Completed > 0 && rep.stepper.Outstanding() == 0 {
+		if s.run.sharded {
+			// Mid-phase the event log is shared state: park the decision on
+			// the replica and let the next barrier replay it.
+			rep.pendingStop = true
+			rep.pendStopAt = rep.stepper.Now()
+			return
+		}
 		s.stop(rep, rep.stepper.Now())
 	}
 }
@@ -184,6 +195,26 @@ func (s *scaler) stop(rep *Replica, at units.Seconds) {
 	rep.state = repStopped
 	rep.stopAt = at
 	s.record(ScaleEvent{At: at, Action: ScaleStop, Replica: rep.ID, Active: len(s.run.eligible)})
+}
+
+// flushStops replays the power-off decisions a sharded parallel phase
+// deferred, ordered by power-off instant (ties by replica ID) — the order
+// the serial schedule's step events would have recorded them in.
+func (s *scaler) flushStops() {
+	var due []*Replica
+	for _, rep := range s.run.reps {
+		if rep.pendingStop {
+			due = append(due, rep)
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.SliceStable(due, func(i, j int) bool { return due[i].pendStopAt < due[j].pendStopAt })
+	for _, rep := range due {
+		rep.pendingStop = false
+		s.stop(rep, rep.pendStopAt)
+	}
 }
 
 func (s *scaler) record(ev ScaleEvent) { s.events = append(s.events, ev) }
@@ -232,11 +263,24 @@ func (s *scaler) tick(now units.Seconds) {
 			}
 		}
 	}
-	queuePer := float64(queue) / float64(act)
-	ratePer := float64(s.arrivals) / s.opt.Interval.Seconds() / float64(act)
+	// An all-failed window (every active replica crashed between ticks) has
+	// act == 0: the per-replica signals are vacuously zero rather than the
+	// 0/0 NaN that would otherwise flow into the scale-event audit trail.
+	queuePer, ratePer := 0.0, 0.0
+	if act > 0 {
+		queuePer = float64(queue) / float64(act)
+		ratePer = float64(s.arrivals) / s.opt.Interval.Seconds() / float64(act)
+	}
+	// Merge the per-replica window buffers in replica order, then take the
+	// percentile in place: same multiset every run, no copy, no re-sort of
+	// anything but this window's samples.
+	for _, rep := range r.reps {
+		s.tpots = append(s.tpots, rep.winTPOT...)
+		rep.winTPOT = rep.winTPOT[:0]
+	}
 	tpot95 := 0.0
 	if len(s.tpots) > 0 {
-		tpot95 = stats.Percentile(s.tpots, 95)
+		tpot95 = stats.PercentileInPlace(s.tpots, 95)
 	}
 	sig := ScaleEvent{At: now, QueuePerReplica: queuePer,
 		TPOTP95: units.Seconds(tpot95), KVPressure: kvMax, ArrivalRate: ratePer}
@@ -314,10 +358,11 @@ func (s *scaler) tick(now units.Seconds) {
 		}
 	}
 
-	// Reset the window and re-arm.
+	// Reset the window and re-arm. Sharded replica steps live outside the
+	// kernel, so the liveness check must count them too.
 	s.arrivals = 0
 	s.tpots = s.tpots[:0]
-	if r.kernel.Pending() > 0 {
+	if r.kernel.Pending() > 0 || r.stepsPending() {
 		r.nextTick = now + s.opt.Interval
 		r.kernel.At(r.nextTick, s.tick)
 	} else {

@@ -36,6 +36,9 @@ func runAutoscaled(t *testing.T, mode serving.FastPathMode, reqs []workload.Requ
 		Router:    LeastOutstanding(),
 		Serving:   opt,
 		Autoscale: DefaultAutoscale(1, 4, workload.SLO{TokenLatency: units.Milliseconds(8)}),
+
+		RetainRequests: true,
+		RetainStream:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +162,9 @@ func TestAutoscaleClosedLoop(t *testing.T) {
 			Router:    LeastOutstanding(),
 			Serving:   opt,
 			Autoscale: DefaultAutoscale(1, 3, workload.SLO{TokenLatency: units.Milliseconds(8)}),
+
+			RetainRequests: true,
+			RetainStream:   true,
 		})
 		if err != nil {
 			t.Fatal(err)

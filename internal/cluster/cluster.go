@@ -35,6 +35,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/design"
@@ -85,6 +86,30 @@ type Options struct {
 	// still outstanding Timeout after its injection is cancelled on its
 	// replica and retried under the same bounded-retry policy.
 	Timeout units.Seconds
+
+	// RetainRequests keeps every per-request metrics record for
+	// FleetResult.Requests. Off by default: at million-request scale the
+	// record slice is the run's memory bound, and the streaming
+	// FleetResult.Agg already carries the latency distributions — each
+	// completion's record is harvested into it once and then dropped, so a
+	// run's per-request state is O(outstanding), not O(total).
+	RetainRequests bool
+	// RetainStream keeps the realised arrival stream for
+	// FleetResult.Stream — needed only when the run will be exported as a
+	// replayable trace. Off by default for the same memory reason.
+	RetainStream bool
+
+	// Shards > 1 lets independent replicas advance in parallel between
+	// fleet-level synchronization points (arrival routing, autoscaler
+	// ticks), on up to Shards goroutines. Results are bit-identical to the
+	// serial schedule — replica steps never interact between barriers, and
+	// everything cross-replica still fires in kernel order — which the
+	// equivalence tests pin on both decode paths. Open-loop Run (and
+	// RunSeq) only: closed-loop plans couple replicas through follow-ups,
+	// so RunPlan rejects Shards > 1, and a run with the failure machinery
+	// armed (whose kernel carries cross-replica events between arrivals)
+	// falls back to the serial schedule. 0 or 1 is serial.
+	Shards int
 }
 
 func (o Options) validate() error {
@@ -111,6 +136,9 @@ func (o Options) validate() error {
 	}
 	if o.Timeout < 0 {
 		return fmt.Errorf("cluster: request timeout %v must be ≥ 0", o.Timeout)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("cluster: shard count %d must be ≥ 0", o.Shards)
 	}
 	if o.Faults != nil {
 		if err := o.Faults.Validate(); err != nil {
@@ -177,11 +205,32 @@ type Replica struct {
 	engine  *serving.Engine
 	stepper *serving.Stepper
 
-	// scheduled says a step event for this replica is already in the event
-	// queue, so arrivals must not double-schedule it.
+	// scheduled says a step event for this replica is already armed (in the
+	// event queue, or — sharded — recorded in nextStep), so arrivals must
+	// not double-schedule it.
 	scheduled bool
+	// nextStep is the armed step instant when the run is sharded: sharded
+	// replicas keep their step cadence out of the kernel and are driven in
+	// parallel up to each barrier instead.
+	nextStep units.Seconds
 	// routed counts requests this replica received.
 	routed int
+	// agg streams this replica's completion latencies (fed by
+	// fleetRun.harvest); fleet and per-design aggregates merge these in
+	// replica order.
+	agg *FleetAggregate
+	// winTPOT buffers the autoscaler window's interactive TPOT samples.
+	// Kept per replica so the sharded parallel phase appends race-free; the
+	// control tick merges the buffers in replica order.
+	winTPOT []float64
+	// err holds a step failure until the driver folds it into the run error
+	// (sharded replicas cannot write shared state mid-phase).
+	err error
+	// pendingStop defers a draining replica's power-off decision made
+	// inside a sharded parallel phase; the next barrier replays it through
+	// the scaler (pendStopAt is the drained instant).
+	pendingStop bool
+	pendStopAt  units.Seconds
 
 	// Elastic lifecycle (see replicaState). bootAt is the instant the
 	// replica powered on (0 for the initial fleet), liveAt when it started
@@ -415,6 +464,21 @@ type fleetRun struct {
 	// to the next unfired arrival (and, when autoscaling, the next control
 	// tick), since open-loop step events never touch other replicas.
 	horizon func() units.Seconds
+	// sharded moves replica step events off the kernel: between kernel
+	// events (the fleet-level synchronization barriers) every armed replica
+	// is driven in parallel on up to shards goroutines, with identical
+	// results to the serial schedule (see Options.Shards).
+	sharded bool
+	shards  int
+	// due is the barrier driver's scratch list of armed replicas, reused
+	// across barriers so the hot loop does not allocate.
+	due []*Replica
+	// pool is the driver's persistent worker pool, started lazily on the
+	// first multi-replica phase and retired when the drain finishes. barrier
+	// carries the phase's synchronization instant to the workers; it is
+	// written before the phase's job sends, which happen-before the reads.
+	pool    *shardPool
+	barrier units.Seconds
 }
 
 // newFleetRun builds the replica engines and the event kernel. Replicas of
@@ -448,6 +512,19 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 		r.kernel.At(r.nextTick, r.scaler.tick)
 	}
 	return r, nil
+}
+
+// shard arms the parallel barrier driver when the run qualifies: Shards > 1
+// and no failure machinery (fault edges, timeouts, and retry re-injections
+// are kernel events between arrivals that couple replicas mid-phase, so
+// those runs stay serial — and bit-identical to the sharded results they
+// would have produced, since sharding never changes results). Callers must
+// shard before the first arrival is scheduled.
+func (r *fleetRun) shard() {
+	if r.c.opt.Shards > 1 && r.resil == nil {
+		r.sharded = true
+		r.shards = r.c.opt.Shards
+	}
 }
 
 // nextBlueprint picks the design to provision next: the design most
@@ -501,6 +578,13 @@ func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) 
 	opt := r.c.opt.Serving
 	opt.Seed += int64(len(r.reps))
 	opt.Costs = bp.costs
+	// Without fleet-level retention each completion's metrics are read
+	// exactly once, at harvest, so the engine drops its per-request records
+	// as they finish — the constant-memory path. (The failure machinery
+	// only ever touches records of outstanding requests, so it is
+	// indifferent; keying on RetainRequests alone also keeps an armed
+	// no-op fault plan bit-identical to a fault-free run.)
+	opt.DiscardCompleted = !r.c.opt.RetainRequests
 	sys, err := bp.newSys()
 	if err != nil {
 		return nil, err
@@ -519,7 +603,7 @@ func (r *fleetRun) addReplica(bootAt, liveAt units.Seconds, state replicaState) 
 		}
 	}
 	rep := &Replica{ID: len(r.reps), design: bp.name, engine: eng, stepper: st,
-		state: state, bootAt: bootAt, liveAt: liveAt}
+		state: state, bootAt: bootAt, liveAt: liveAt, agg: newFleetAggregate()}
 	r.reps = append(r.reps, rep)
 	if r.resil != nil {
 		// A replica born inside a degradation window serves at the
@@ -540,46 +624,77 @@ func (r *fleetRun) rebuildEligible() {
 	}
 }
 
-// schedule arms a replica's step event at its next work instant: it absorbs
-// any idle gap, advances one iteration, notifies the completion hook, and
-// reschedules itself while work remains. Pushes re-arm idle replicas.
+// schedule arms a replica's step event at its next work instant. Serial
+// runs put the step on the shared kernel; sharded runs record it on the
+// replica, whose steps the barrier driver advances in parallel. Pushes
+// re-arm idle replicas.
 func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 	rep.scheduled = true
+	if r.sharded {
+		rep.nextStep = at
+		return
+	}
 	r.kernel.At(at, func(now units.Seconds) {
 		rep.scheduled = false
 		if r.err != nil {
 			return
 		}
-		// A step armed before a crash must not touch the dead engine: its
-		// clock is frozen at the failure instant.
-		if rep.state == repFailed {
-			return
+		r.stepReplica(rep, now)
+		if rep.err != nil && r.err == nil {
+			r.err = rep.err
 		}
-		rep.stepper.AdvanceTo(now)
-		rep.stepper.SetHorizon(r.horizon())
-		info, err := rep.stepper.Step()
-		if err != nil {
-			r.err = err
-			return
-		}
-		if r.scaler != nil {
-			r.scaler.observeStep(rep, info)
-		}
-		if r.resil != nil {
-			for _, req := range info.Finished {
-				r.resil.finished(req)
-			}
-		}
-		if r.onFinish != nil {
-			for _, req := range info.Finished {
-				r.onFinish(rep, req)
-			}
-		}
-		if info.Kind == serving.StepDrained {
-			return
-		}
-		r.schedule(rep, rep.stepper.Now())
 	})
+}
+
+// stepReplica advances one replica iteration at `now`: it absorbs any idle
+// gap, steps the engine, feeds the observers and the streaming aggregate,
+// and re-arms the next step while work remains. It writes only
+// replica-local state (rep.err, not r.err), so the sharded driver may run
+// it for distinct replicas concurrently; the serial path folds rep.err
+// into the run error at its kernel event.
+func (r *fleetRun) stepReplica(rep *Replica, now units.Seconds) {
+	// A step armed before a crash must not touch the dead engine: its
+	// clock is frozen at the failure instant.
+	if rep.state == repFailed {
+		return
+	}
+	rep.stepper.AdvanceTo(now)
+	rep.stepper.SetHorizon(r.horizon())
+	info, err := rep.stepper.Step()
+	if err != nil {
+		rep.err = err
+		return
+	}
+	if r.scaler != nil {
+		r.scaler.observeStep(rep, info)
+	}
+	if r.resil != nil {
+		for _, req := range info.Finished {
+			r.resil.finished(req)
+		}
+	}
+	if r.onFinish != nil {
+		for _, req := range info.Finished {
+			r.onFinish(rep, req)
+		}
+	}
+	r.harvest(rep, info)
+	if info.Kind == serving.StepDrained {
+		return
+	}
+	r.schedule(rep, rep.stepper.Now())
+}
+
+// harvest folds the step's completions into the replica's streaming
+// aggregate — the always-on constant-memory metrics path. It runs after the
+// observers, whose window signals peek at the same records: without
+// retention the engine forgets a record once taken.
+func (r *fleetRun) harvest(rep *Replica, info serving.StepInfo) {
+	for _, req := range info.Finished {
+		if rm, ok := rep.stepper.TakeMetrics(req.ID); ok {
+			rep.agg.observe(rm)
+		}
+	}
 }
 
 // push delivers a request to a replica and re-arms its step event, without
@@ -610,9 +725,11 @@ func (r *fleetRun) push(rep *Replica, req workload.Request, now units.Seconds) b
 	return true
 }
 
-// inject pushes a request into a replica, recording the realised arrival.
+// inject pushes a request into a replica, recording the realised arrival
+// when the run retains its stream (Options.RetainStream) — recording every
+// arrival of a million-request run would defeat the constant-memory path.
 func (r *fleetRun) inject(rep *Replica, req workload.Request, now units.Seconds) {
-	if r.push(rep, req, now) {
+	if r.push(rep, req, now) && r.c.opt.RetainStream {
 		r.stream = append(r.stream, req)
 	}
 }
@@ -638,14 +755,186 @@ func (r *fleetRun) route(req workload.Request, now units.Seconds) *Replica {
 	return rep
 }
 
-// finish drains the kernel and aggregates fleet metrics over want requests.
+// finish drains the run and aggregates fleet metrics over want requests.
 func (r *fleetRun) finish(want int) (*FleetResult, error) {
-	r.kernel.Run()
+	r.drain()
 	if r.err != nil {
 		return nil, r.err
 	}
 	return aggregate(r, want)
 }
+
+// drain runs the simulation to completion. Serial runs simply drain the
+// kernel — replica steps are kernel events. Sharded runs alternate: every
+// kernel event (arrival, control tick, replica activation) is a barrier,
+// and between barriers the armed replicas advance in parallel, each
+// strictly below the barrier instant, so everything cross-replica still
+// fires in exact kernel order and the result is bit-identical to the
+// serial schedule.
+func (r *fleetRun) drain() {
+	if !r.sharded {
+		r.kernel.Run()
+		return
+	}
+	defer func() {
+		if r.pool != nil {
+			r.pool.close()
+			r.pool = nil
+		}
+	}()
+	for r.err == nil {
+		if t, ok := r.kernel.NextAt(); ok {
+			r.advanceShards(t)
+			if r.err != nil {
+				return
+			}
+			r.kernel.Step()
+			continue
+		}
+		if !r.stepsPending() {
+			return
+		}
+		// No kernel events left: the surviving step cadences run dry
+		// unbounded.
+		r.advanceShards(units.Seconds(math.Inf(1)))
+	}
+}
+
+// advanceShards drives every armed replica up to (strictly below) the
+// barrier, in parallel, then replays the phase's deferred power-off
+// decisions in deterministic order. Replica errors fold into the run error
+// in replica order.
+func (r *fleetRun) advanceShards(barrier units.Seconds) {
+	r.due = r.due[:0]
+	for _, rep := range r.reps {
+		if rep.scheduled && rep.nextStep < barrier {
+			r.due = append(r.due, rep)
+		}
+	}
+	if len(r.due) > 0 {
+		r.barrier = barrier
+		if len(r.due) == 1 {
+			// One replica due: the pool's signaling costs more than it buys.
+			r.driveReplica(r.due[0], barrier)
+		} else {
+			if r.pool == nil {
+				r.pool = newShardPool(r.shards, func(rep *Replica) { r.driveReplica(rep, r.barrier) })
+			}
+			r.pool.dispatch(r.due)
+		}
+		for _, rep := range r.due {
+			if rep.err != nil && r.err == nil {
+				r.err = rep.err
+			}
+		}
+	}
+	if r.scaler != nil {
+		r.scaler.flushStops()
+	}
+}
+
+// driveReplica advances one replica's armed steps, in order, strictly below
+// the barrier: events at the barrier instant belong to the kernel and fire
+// first, exactly as the serial schedule orders simultaneous arrivals before
+// steps. The replica parks drained, errored, or re-armed at/after the
+// barrier. Only replica-local state is written (see stepReplica), so
+// distinct replicas drive concurrently.
+func (r *fleetRun) driveReplica(rep *Replica, barrier units.Seconds) {
+	for rep.err == nil && rep.scheduled && rep.nextStep < barrier {
+		now := rep.nextStep
+		rep.scheduled = false
+		r.stepReplica(rep, now)
+	}
+}
+
+// stepsPending reports whether any sharded replica still has an armed step.
+// Sharded steps live outside the kernel, so the drain loop and the
+// autoscaler's re-arm check must ask here as well as kernel.Pending.
+func (r *fleetRun) stepsPending() bool {
+	if !r.sharded {
+		return false
+	}
+	for _, rep := range r.reps {
+		if rep.scheduled {
+			return true
+		}
+	}
+	return false
+}
+
+// shardPool is the sharded driver's persistent worker pool: barriers arrive
+// at arrival cadence (a million times per million-request run), so the
+// workers outlive the barriers instead of being spawned per phase. fn must
+// write only replica-local state, so the outcome is independent of goroutine
+// scheduling and the parallel drive is indistinguishable from the serial
+// loop.
+type shardPool struct {
+	jobs chan *Replica
+	wg   sync.WaitGroup
+	// panics holds the first worker panic of a dispatch; dispatch re-raises
+	// it on the caller.
+	panics chan any
+	fn     func(*Replica)
+}
+
+// newShardPool starts `workers` persistent workers running fn.
+func newShardPool(workers int, fn func(*Replica)) *shardPool {
+	if workers < 2 {
+		workers = 2
+	}
+	p := &shardPool{jobs: make(chan *Replica, 4*workers), panics: make(chan any, 1), fn: fn}
+	parallelMap(p, workers)
+	return p
+}
+
+// parallelMap launches the pool's workers — the one construct the
+// deterministic packages may spawn goroutines in (papivet pins this).
+func parallelMap(p *shardPool, workers int) {
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+}
+
+// worker drains jobs until the pool closes. Every job signals the dispatch
+// WaitGroup exactly once, panic or not — a stuck dispatch would deadlock the
+// whole run.
+func (p *shardPool) worker() {
+	for rep := range p.jobs {
+		p.run(rep)
+	}
+}
+
+func (p *shardPool) run(rep *Replica) {
+	defer p.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			// Keep only the first panic; a worker must never block here.
+			select {
+			case p.panics <- v:
+			default:
+			}
+		}
+	}()
+	p.fn(rep)
+}
+
+// dispatch runs fn over the batch and returns once every item finished,
+// re-raising the first worker panic on the caller.
+func (p *shardPool) dispatch(reps []*Replica) {
+	p.wg.Add(len(reps))
+	for _, rep := range reps {
+		p.jobs <- rep
+	}
+	p.wg.Wait()
+	select {
+	case v := <-p.panics:
+		panic(v)
+	default:
+	}
+}
+
+// close retires the workers (idempotent is not needed: drain calls it once).
+func (p *shardPool) close() { close(p.jobs) }
 
 // Run consumes the request stream to completion and returns fleet metrics.
 // It may be called once per Cluster.
@@ -662,6 +951,7 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.shard()
 
 	// Arrivals are scheduled up front in stream order, so simultaneous
 	// arrivals route in a deterministic order and always precede step
@@ -712,6 +1002,88 @@ func (c *Cluster) Run(reqs []workload.Request) (*FleetResult, error) {
 	return r.finish(len(reqs))
 }
 
+// RunSeq consumes a lazily generated open-loop request stream to
+// completion: next is called once per request, in arrival order
+// (non-decreasing arrivals; a negative arrival clamps to 0, as in Run),
+// until it reports no more. Only one lookahead arrival is ever buffered, so
+// a million-request run pays no per-request memory up front — the fleet
+// companion to workload.Scenario.Each. RunSeq shares Run's semantics,
+// including the sharded barrier driver, and may be called once per
+// Cluster, in place of Run.
+func (c *Cluster) RunSeq(next func() (workload.Request, bool)) (*FleetResult, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run may only be called once per cluster")
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cluster: nil request source")
+	}
+	c.ran = true
+
+	r, err := c.newFleetRun()
+	if err != nil {
+		return nil, err
+	}
+	r.shard()
+
+	// The macro-stepping horizon mirrors Run's: open-loop replicas interact
+	// only at arrivals and control ticks, and with one lookahead arrival
+	// buffered the next arrival instant is always known.
+	nextArrival := units.Seconds(math.Inf(1))
+	if r.resil == nil {
+		r.horizon = func() units.Seconds {
+			h := r.nextTick
+			if nextArrival < h {
+				h = nextArrival
+			}
+			return h
+		}
+	}
+
+	total := 0
+	lastAt := units.Seconds(math.Inf(-1))
+	var schedule func(req workload.Request)
+	schedule = func(req workload.Request) {
+		at := req.Arrival
+		if at < 0 {
+			at = 0
+		}
+		if at < lastAt {
+			r.err = fmt.Errorf("cluster: request %d arrives at %v, before its predecessor at %v; RunSeq needs arrival order",
+				req.ID, at, lastAt)
+			return
+		}
+		lastAt = at
+		total++
+		nextArrival = at
+		r.kernel.At(at, func(now units.Seconds) {
+			// Pull the successor before routing, so the horizon and the
+			// barrier schedule always cover the next arrival.
+			if follow, more := next(); more {
+				schedule(follow)
+			} else {
+				nextArrival = units.Seconds(math.Inf(1))
+			}
+			if r.err != nil {
+				return
+			}
+			r.route(req, now)
+		})
+	}
+	first, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("cluster: empty request stream")
+	}
+	schedule(first)
+
+	// The stream keeps growing while the kernel drains (each arrival pulls
+	// its successor), so the ledger total is only known afterwards.
+	r.drain()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return aggregate(r, total)
+}
+
 // convState tracks one closed-loop conversation through a fleet run: which
 // turn is next, how large the context has grown, and which replica holds the
 // conversation's KV state (follow-ups stick to it).
@@ -750,6 +1122,13 @@ func (c *Cluster) RunPlan(convs []workload.Conversation) (*FleetResult, error) {
 		if len(conv.Turns) == 0 {
 			return nil, fmt.Errorf("cluster: conversation %d has no turns", conv.ID)
 		}
+	}
+	if c.opt.Shards > 1 {
+		// Closed-loop runs couple replicas between arrivals: a completion on
+		// one replica launches a follow-up whose arrival instant the barrier
+		// schedule cannot know ahead, so the parallel drive has no sound
+		// synchronization points.
+		return nil, fmt.Errorf("cluster: sharded execution needs an open-loop stream; RunPlan requires Shards ≤ 1")
 	}
 	c.ran = true
 

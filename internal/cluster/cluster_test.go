@@ -17,6 +17,11 @@ func testOptions(replicas int, router Router) Options {
 		MaxBatch: 8,
 		Router:   router,
 		Serving:  serving.DefaultOptions(1),
+		// Most legacy assertions audit the per-request records and the
+		// realised stream, so the shared helper opts into retention; the
+		// constant-memory default path has its own tests.
+		RetainRequests: true,
+		RetainStream:   true,
 	}
 }
 

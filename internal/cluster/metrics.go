@@ -25,15 +25,29 @@ type FleetResult struct {
 	Routed []int
 
 	// Requests merges every replica's per-request metrics (arrival-relative
-	// latencies), sorted by request ID.
+	// latencies), sorted by request ID. Retention is opt-in
+	// (Options.RetainRequests): at million-request scale the per-request
+	// slice is the run's memory bound, so by default it stays empty and the
+	// streaming Agg carries the latency distributions instead.
 	Requests []serving.RequestMetrics
 
 	// Stream is the realised arrival stream — every request the fleet
 	// actually served, with its concrete arrival instant, sorted by arrival
 	// then ID. For closed-loop runs this is where the simulation-dependent
 	// follow-up arrivals become concrete, so wrapping it in a
-	// workload.Trace replays the exact same traffic open-loop.
+	// workload.Trace replays the exact same traffic open-loop. Retention is
+	// opt-in (Options.RetainStream); empty unless the caller asked to keep
+	// it for trace export.
 	Stream []workload.Request
+
+	// Completed counts the requests the fleet finished — always populated,
+	// whether or not the per-request records were retained.
+	Completed int
+	// Agg is the fleet's streaming latency aggregate: constant-memory
+	// quantile sketches fed at each completion and merged from the replicas
+	// in replica order. The TTFT/TPOT summaries and the attainment scores
+	// derive from it, so they are available at any fleet scale.
+	Agg *FleetAggregate
 
 	// Makespan is the instant the last replica finished, on the shared
 	// fleet clock.
@@ -126,14 +140,109 @@ type DesignMetrics struct {
 	TTFT stats.Summary
 	TPOT stats.Summary
 
-	// metrics holds the per-request latencies served by this design, for
-	// Attainment.
-	metrics []serving.RequestMetrics
+	// agg is this design's streaming latency aggregate, merged from its
+	// replicas in replica order — the distribution Attainment scores.
+	agg *FleetAggregate
 }
 
-// Attainment scores the design's requests against a per-token SLO.
+// Attainment scores the design's completed requests against a per-token SLO
+// (serving.SLOAttainment's single-token rule). A design that served nothing
+// scores 1 — an idle design violates nothing, the same vacuous rule as
+// AttainmentClass — rather than the 0 that would read as a total miss.
 func (d DesignMetrics) Attainment(slo workload.SLO) float64 {
-	return serving.SLOAttainment(d.metrics, slo)
+	if d.agg == nil || d.agg.Completed == 0 {
+		return 1
+	}
+	return float64(d.agg.metCount(slo)) / float64(d.agg.Completed)
+}
+
+// FleetAggregate is the constant-memory streaming form of a fleet's latency
+// distributions: one deterministic quantile sketch per digest the summaries
+// and attainment scores need, fed at each request completion and merged
+// across replicas in replica order. While a run stays within the sketches'
+// exact regime (≤ stats.DefaultSketchK samples each, which covers every
+// figure reproduction) the derived summaries are bit-identical to the
+// retained-slice oracle; beyond it they carry the sketch's documented rank
+// error. The scores are serving.SLOMetCount's quantity: a request's score is
+// its TPOT, or its total completion latency when it generated at most one
+// token (a single token has no inter-token cadence).
+type FleetAggregate struct {
+	// Completed counts the requests folded in.
+	Completed int64 `json:"completed"`
+	// TTFT digests time-to-first-token; TPOT the inter-token cadence of
+	// multi-token requests, with InteractiveTPOT/BatchTPOT the per-class
+	// split (single-token requests have no cadence and are absent).
+	TTFT            *stats.Sketch `json:"ttft"`
+	TPOT            *stats.Sketch `json:"tpot"`
+	InteractiveTPOT *stats.Sketch `json:"interactive_tpot"`
+	BatchTPOT       *stats.Sketch `json:"batch_tpot"`
+	// InteractiveScore and BatchScore hold every completion's SLO score
+	// (per-token rule above), split by priority class so attainment can
+	// count either tier or both.
+	InteractiveScore *stats.Sketch `json:"interactive_score"`
+	BatchScore       *stats.Sketch `json:"batch_score"`
+}
+
+func newFleetAggregate() *FleetAggregate {
+	return &FleetAggregate{
+		TTFT:             stats.NewSketch(),
+		TPOT:             stats.NewSketch(),
+		InteractiveTPOT:  stats.NewSketch(),
+		BatchTPOT:        stats.NewSketch(),
+		InteractiveScore: stats.NewSketch(),
+		BatchScore:       stats.NewSketch(),
+	}
+}
+
+// observe folds one completion in.
+func (a *FleetAggregate) observe(rm serving.RequestMetrics) {
+	a.Completed++
+	a.TTFT.Add(rm.TTFT.Seconds())
+	score := rm.Completion
+	if rm.OutputTokens > 1 {
+		score = rm.TPOT
+		a.TPOT.Add(rm.TPOT.Seconds())
+		if rm.Class == workload.ClassBatch {
+			a.BatchTPOT.Add(rm.TPOT.Seconds())
+		} else {
+			a.InteractiveTPOT.Add(rm.TPOT.Seconds())
+		}
+	}
+	if rm.Class == workload.ClassBatch {
+		a.BatchScore.Add(score.Seconds())
+	} else {
+		a.InteractiveScore.Add(score.Seconds())
+	}
+}
+
+// merge folds o into a (o is unchanged). Order-sensitive once the sketches
+// compact, so the fleet always merges in replica order.
+func (a *FleetAggregate) merge(o *FleetAggregate) {
+	a.Completed += o.Completed
+	a.TTFT.Merge(o.TTFT)
+	a.TPOT.Merge(o.TPOT)
+	a.InteractiveTPOT.Merge(o.InteractiveTPOT)
+	a.BatchTPOT.Merge(o.BatchTPOT)
+	a.InteractiveScore.Merge(o.InteractiveScore)
+	a.BatchScore.Merge(o.BatchScore)
+}
+
+// metCount is the number of completed requests meeting the per-token SLO —
+// serving.SLOMetCount evaluated against the score sketches.
+func (a *FleetAggregate) metCount(slo workload.SLO) int64 {
+	if slo.TokenLatency <= 0 {
+		return a.Completed
+	}
+	x := slo.TokenLatency.Seconds()
+	return a.InteractiveScore.CountLE(x) + a.BatchScore.CountLE(x)
+}
+
+// scoreSketch picks the score distribution of one priority class.
+func (a *FleetAggregate) scoreSketch(class workload.Class) *stats.Sketch {
+	if class == workload.ClassBatch {
+		return a.BatchScore
+	}
+	return a.InteractiveScore
 }
 
 // aggregate finalises every replica and folds the fleet metrics.
@@ -189,23 +298,26 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 	// A mixed fleet additionally splits the metrics per design, in blueprint
 	// order.
 	type designAcc struct {
-		dm    DesignMetrics
-		ttfts []float64
-		tpots []float64
+		dm  DesignMetrics
+		agg *FleetAggregate
 	}
 	var designOrder []*designAcc
 	byDesign := map[string]*designAcc{}
 	if r.c.mixed() {
 		for _, bp := range r.c.blueprints {
 			if byDesign[bp.name] == nil {
-				acc := &designAcc{dm: DesignMetrics{Design: bp.name}}
+				acc := &designAcc{dm: DesignMetrics{Design: bp.name}, agg: newFleetAggregate()}
 				byDesign[bp.name] = acc
 				designOrder = append(designOrder, acc)
 			}
 		}
 	}
 
-	var ttfts, tpots, tpotsInteractive, tpotsBatch []float64
+	// The latency distributions were folded into each replica's streaming
+	// aggregate at completion time (fleetRun.harvest); here they only merge,
+	// in replica order, so the fleet digest is identical however the run was
+	// driven. The per-request records are re-collected only on request.
+	f.Agg = newFleetAggregate()
 	for _, rep := range r.reps {
 		res := rep.stepper.Finalize()
 		f.Replicas = append(f.Replicas, res)
@@ -220,51 +332,44 @@ func aggregate(r *fleetRun, want int) (*FleetResult, error) {
 		if span := end - rep.bootAt; span > 0 {
 			f.ReplicaSeconds += span
 		}
-		acc := byDesign[rep.design]
-		if acc != nil {
+		f.Agg.merge(rep.agg)
+		if acc := byDesign[rep.design]; acc != nil {
 			acc.dm.Replicas++
 			acc.dm.Routed += rep.routed
 			acc.dm.Tokens += res.Tokens
 			acc.dm.Energy += res.Energy.Total()
+			acc.agg.merge(rep.agg)
 		}
-		for _, rm := range res.Requests {
-			f.Requests = append(f.Requests, rm)
-			ttfts = append(ttfts, rm.TTFT.Seconds())
-			if rm.OutputTokens > 1 {
-				tpots = append(tpots, rm.TPOT.Seconds())
-				if rm.Class == workload.ClassBatch {
-					tpotsBatch = append(tpotsBatch, rm.TPOT.Seconds())
-				} else {
-					tpotsInteractive = append(tpotsInteractive, rm.TPOT.Seconds())
-				}
-			}
-			if acc != nil {
-				acc.dm.metrics = append(acc.dm.metrics, rm)
-				acc.ttfts = append(acc.ttfts, rm.TTFT.Seconds())
-				if rm.OutputTokens > 1 {
-					acc.tpots = append(acc.tpots, rm.TPOT.Seconds())
-				}
-			}
+		if r.c.opt.RetainRequests {
+			f.Requests = append(f.Requests, res.Requests...)
 		}
 	}
+	f.Completed = int(f.Agg.Completed)
 	for _, acc := range designOrder {
-		acc.dm.Requests = len(acc.dm.metrics)
-		acc.dm.TTFT = stats.Summarize(acc.ttfts)
-		acc.dm.TPOT = stats.Summarize(acc.tpots)
+		acc.dm.Requests = int(acc.agg.Completed)
+		acc.dm.TTFT = acc.agg.TTFT.Summary()
+		acc.dm.TPOT = acc.agg.TPOT.Summary()
+		acc.dm.agg = acc.agg
 		f.PerDesign = append(f.PerDesign, acc.dm)
 	}
 	// Every injected request must be terminally accounted exactly once:
-	// completed (Requests) or failed (FailedRequests), never both, never
-	// neither.
-	if len(f.Requests)+len(f.FailedRequests) != want {
+	// completed (harvested into the aggregate) or failed (FailedRequests),
+	// never both, never neither.
+	if f.Completed+len(f.FailedRequests) != want {
 		return nil, fmt.Errorf("cluster: %d of %d requests terminally accounted (%d completed + %d failed)",
-			len(f.Requests)+len(f.FailedRequests), want, len(f.Requests), len(f.FailedRequests))
+			f.Completed+len(f.FailedRequests), want, f.Completed, len(f.FailedRequests))
 	}
-	sort.Slice(f.Requests, func(i, j int) bool { return f.Requests[i].ID < f.Requests[j].ID })
-	f.TTFT = stats.Summarize(ttfts)
-	f.TPOT = stats.Summarize(tpots)
-	f.InteractiveTPOT = stats.Summarize(tpotsInteractive)
-	f.BatchTPOT = stats.Summarize(tpotsBatch)
+	if r.c.opt.RetainRequests {
+		if len(f.Requests) != f.Completed {
+			return nil, fmt.Errorf("cluster: retained %d request records for %d completions",
+				len(f.Requests), f.Completed)
+		}
+		sort.Slice(f.Requests, func(i, j int) bool { return f.Requests[i].ID < f.Requests[j].ID })
+	}
+	f.TTFT = f.Agg.TTFT.Summary()
+	f.TPOT = f.Agg.TPOT.Summary()
+	f.InteractiveTPOT = f.Agg.InteractiveTPOT.Summary()
+	f.BatchTPOT = f.Agg.BatchTPOT.Summary()
 	return f, nil
 }
 
@@ -284,26 +389,34 @@ func (f *FleetResult) RequestsPerSecond() float64 {
 	if f.Makespan <= 0 {
 		return 0
 	}
-	return float64(len(f.Requests)) / f.Makespan.Seconds()
+	return float64(f.Completed) / f.Makespan.Seconds()
 }
 
-// Attainment scores the merged request set against a per-token SLO (see
-// serving.SLOAttainment for the single-token rule). Failed and timed-out
+// Attainment scores the completed requests against a per-token SLO (see
+// serving.SLOAttainment for the single-token rule), evaluated on the
+// streaming aggregate so it needs no retained records. Failed and timed-out
 // requests never met any latency target: they stay in the denominator as
-// misses rather than silently vanishing from the score.
+// misses rather than silently vanishing from the score. An empty window —
+// nothing completed, nothing failed — scores 1, the vacuous truth
+// AttainmentClass already used for an absent tier, so a zero-request edge
+// can never inject a misleading 0 (or a 0/0 NaN) into exported JSON.
 func (f *FleetResult) Attainment(slo workload.SLO) float64 {
-	total := len(f.Requests) + len(f.FailedRequests)
+	total := f.Completed + len(f.FailedRequests)
 	if total == 0 {
-		return 0
+		return 1
 	}
-	return float64(serving.SLOMetCount(f.Requests, slo)) / float64(total)
+	return float64(f.Agg.metCount(slo)) / float64(total)
 }
 
 // AttainmentClass scores one priority class against the SLO, counting the
 // class's failed requests as misses (1 when the class is entirely absent —
 // an empty tier violates nothing).
 func (f *FleetResult) AttainmentClass(slo workload.SLO, class workload.Class) float64 {
-	met, n := serving.SLOMetCountClass(f.Requests, slo, class)
+	sk := f.Agg.scoreSketch(class)
+	met, n := sk.Count(), sk.Count()
+	if slo.TokenLatency > 0 {
+		met = sk.CountLE(slo.TokenLatency.Seconds())
+	}
 	for _, fr := range f.FailedRequests {
 		if fr.Class == class {
 			n++
@@ -316,13 +429,16 @@ func (f *FleetResult) AttainmentClass(slo workload.SLO, class workload.Class) fl
 }
 
 // Availability is the fraction of injected requests that completed at all —
-// the coarse measure failover exists to defend.
+// the coarse measure failover exists to defend. An empty window (every
+// arrival shed, or no arrivals at all) is vacuously available: nothing was
+// asked of the fleet and nothing was refused, so the score is 1, not a 0
+// that would read as a total outage in exported JSON.
 func (f *FleetResult) Availability() float64 {
-	total := len(f.Requests) + len(f.FailedRequests)
+	total := f.Completed + len(f.FailedRequests)
 	if total == 0 {
-		return 0
+		return 1
 	}
-	return float64(len(f.Requests)) / float64(total)
+	return float64(f.Completed) / float64(total)
 }
 
 // JoulesPerToken is the fleet's energy cost per generated token — with the

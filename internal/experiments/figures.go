@@ -37,6 +37,7 @@ func Figures() []Figure {
 		{"dse", func() (fmt.Stringer, error) { return DSE(), nil }},
 		{"kvcache", func() (fmt.Stringer, error) { return KVCache(), nil }},
 		{"resilience", func() (fmt.Stringer, error) { return Resilience(), nil }},
+		{"scale", func() (fmt.Stringer, error) { return Scale(), nil }},
 	}
 }
 

@@ -36,6 +36,7 @@ func goldenFigures() map[string]func() any {
 		"dse":        func() any { return DSE() },
 		"kvcache":    func() any { return KVCache() },
 		"resilience": func() any { return Resilience() },
+		"scale":      func() any { return Scale() },
 	}
 }
 

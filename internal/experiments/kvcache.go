@@ -210,7 +210,7 @@ func KVCacheSweep(configs []KVCacheConfig, cfg model.Config,
 			BlockTokens: resolved.BlockTokens,
 			ColdFactor:  resolved.ColdFactor,
 			Sharing:     kvOpt.Sharing,
-			Requests:    len(f.Requests),
+			Requests:    f.Completed,
 			Tokens:      f.Tokens,
 			Makespan:    f.Makespan,
 			TPOTP99:     units.Seconds(f.TPOT.P99),

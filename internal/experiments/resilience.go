@@ -190,6 +190,10 @@ func ResilienceSweep(cfg model.Config, maxReplicas, requests, maxBatch int,
 			Router:    cluster.LeastOutstanding(),
 			Serving:   opt,
 			Autoscale: c.autoscale,
+			// The post-fault digest replays the realised stream against the
+			// fault window, so this figure keeps per-request retention on.
+			RetainRequests: true,
+			RetainStream:   true,
 		}
 		if c.plan != nil {
 			copt.Faults = c.plan

@@ -90,7 +90,7 @@ func ScenariosSweep(scenarios []workload.Scenario, systems []CapacitySystem, cfg
 		return ScenarioCell{
 			Scenario:     c.sc.Name,
 			System:       c.sys.Name,
-			Requests:     len(f.Requests),
+			Requests:     f.Completed,
 			Tokens:       f.Tokens,
 			TokensPerSec: f.TokensPerSecond(),
 			Energy:       f.Energy.Total(),

@@ -57,6 +57,15 @@ type Options struct {
 	// the same (system design, model, draft) combination — cluster replicas,
 	// sweep cells. Nil gives the engine a private table.
 	Costs *CostTable
+	// DiscardCompleted drops per-request records as requests finish instead
+	// of retaining them for Finalize: Result.Requests comes back empty and a
+	// completed request's metrics are readable exactly once, through
+	// Stepper.TakeMetrics at its completion. This is the constant-memory
+	// mode the cluster layer selects for streaming fleet runs (it harvests
+	// every completion into mergeable sketches); the zero value retains
+	// everything, so every existing caller is unaffected. Static batch
+	// steppers ignore it: RunBatch's contract is the retained Result.
+	DiscardCompleted bool
 	// KV selects block-level KV-cache management (internal/kv): fixed-size
 	// refcounted blocks, a prefix index that lets requests adopt committed
 	// blocks instead of re-prefilling, and a hot/cold tier pair whose

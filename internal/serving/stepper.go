@@ -61,6 +61,7 @@ type Stepper struct {
 	res Result
 
 	all     []*request // every request seen, in input order
+	seen    int        // count of requests ever pushed (survives DiscardCompleted)
 	pending []*request // arrival-ordered, not yet admitted (stream mode)
 	active  []*request // admitted and unfinished
 
@@ -145,6 +146,7 @@ func (e *Engine) NewBatchStepper(reqs []workload.Request) (*Stepper, error) {
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
 		rr := s.newRequest(r)
+		s.seen++
 		s.all = append(s.all, rr)
 		s.active = append(s.active, rr)
 		s.countClass(r.Class, &s.actInteractive, &s.actBatch, +1)
@@ -214,7 +216,10 @@ func (e *Engine) NewStreamStepper(reqs []workload.Request, maxBatch int) (*Stepp
 			return nil, fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 		}
 		rr := s.newRequest(r)
-		s.all = append(s.all, rr)
+		s.seen++
+		if !s.discarding() {
+			s.all = append(s.all, rr)
+		}
 		s.pending = append(s.pending, rr)
 		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
 		s.kvDemandAll += rr.kvBytes
@@ -337,7 +342,10 @@ func (s *Stepper) Push(r workload.Request) error {
 		return fmt.Errorf("serving: request %d has non-positive lengths", r.ID)
 	}
 	rr := s.newRequest(r)
-	s.all = append(s.all, rr)
+	s.seen++
+	if !s.discarding() {
+		s.all = append(s.all, rr)
+	}
 	s.enqueue(rr)
 	s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, +1)
 	s.kvDemandAll += rr.kvBytes
@@ -395,7 +403,7 @@ func (s *Stepper) StartAt(t units.Seconds) error {
 	if s.static {
 		return fmt.Errorf("serving: cannot StartAt a static batch stepper")
 	}
-	if len(s.all) > 0 || s.res.Iterations > 0 || s.clock != 0 || s.res.IdleTime != 0 {
+	if s.seen > 0 || s.res.Iterations > 0 || s.clock != 0 || s.res.IdleTime != 0 {
 		return fmt.Errorf("serving: StartAt on a stepper that already has history")
 	}
 	if t < 0 {
@@ -420,6 +428,24 @@ func (s *Stepper) PeekMetrics(id int) (RequestMetrics, bool) {
 	}
 	return out, true
 }
+
+// TakeMetrics reads a request's latency snapshot like PeekMetrics and, in
+// DiscardCompleted mode, releases the record — the read-once harvest the
+// cluster layer performs at each completion so a streaming run's per-request
+// state is O(outstanding), not O(total). Outside DiscardCompleted mode it is
+// exactly PeekMetrics: records stay for Finalize.
+func (s *Stepper) TakeMetrics(id int) (RequestMetrics, bool) {
+	out, ok := s.PeekMetrics(id)
+	if ok && s.discarding() {
+		delete(s.tracker.byID, id)
+	}
+	return out, ok
+}
+
+// discarding reports whether completed-request records are dropped rather
+// than retained for Finalize (see Options.DiscardCompleted). Static batch
+// steppers always retain: RunBatch's contract is the full Result.
+func (s *Stepper) discarding() bool { return s.eng.Opt.DiscardCompleted && !s.static }
 
 // AdvanceTo moves an idle stepper's clock forward to t, accounting the gap
 // as idle time. It is a no-op when t is not ahead of the clock or when live

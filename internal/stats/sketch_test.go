@@ -1,0 +1,334 @@
+package stats_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/papi-sim/papi/internal/stats"
+	"github.com/papi-sim/papi/internal/workload"
+)
+
+// sketchOf feeds xs into a fresh sketch in order.
+func sketchOf(k int, xs []float64) *stats.Sketch {
+	s := stats.NewSketchK(k)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// TestSketchExactRegime pins the golden-safety contract: while count ≤ k the
+// sketch IS the nearest-rank oracle, bit for bit — quantiles, the standard
+// summary, CountLE, min, and max.
+func TestSketchExactRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]float64{
+		"empty":      {},
+		"single":     {3.25},
+		"duplicates": {1, 1, 1, 2, 2, 0.5, 0.5},
+		"negatives":  {-4, 2, -7.5, 0, 3, -1},
+	}
+	uniform := make([]float64, stats.DefaultSketchK) // exactly at capacity
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+	}
+	cases["at-capacity"] = uniform
+
+	for name, xs := range cases {
+		s := sketchOf(stats.DefaultSketchK, xs)
+		if s.Count() != int64(len(xs)) {
+			t.Fatalf("%s: count %d, want %d", name, s.Count(), len(xs))
+		}
+		for _, p := range []float64{0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+			if got, want := s.Quantile(p), stats.Percentile(xs, p); got != want {
+				t.Errorf("%s: p%v = %v, oracle %v", name, p, got, want)
+			}
+		}
+		if got, want := s.Summary(), stats.Summarize(xs); got != want {
+			t.Errorf("%s: summary %+v, oracle %+v", name, got, want)
+		}
+		mn, mx := stats.MinMax(xs)
+		if s.Min() != mn || s.Max() != mx {
+			t.Errorf("%s: min/max %v/%v, want %v/%v", name, s.Min(), s.Max(), mn, mx)
+		}
+		for _, x := range xs {
+			want := int64(0)
+			for _, v := range xs {
+				if v <= x {
+					want++
+				}
+			}
+			if got := s.CountLE(x); got != want {
+				t.Errorf("%s: CountLE(%v) = %d, want %d", name, x, got, want)
+			}
+		}
+	}
+}
+
+// TestSketchMergeExactRegime pins the fleet-aggregation contract: merging
+// per-chunk exact sketches whose union still fits in k reproduces the whole
+// stream's oracle exactly — so fleet summaries merged from per-replica
+// sketches stay byte-identical to the retained-slice path on every fixture.
+func TestSketchMergeExactRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	merged := stats.NewSketch()
+	for lo := 0; lo < len(xs); lo += 100 {
+		merged.Merge(sketchOf(stats.DefaultSketchK, xs[lo:lo+100]))
+	}
+	if merged.Count() != int64(len(xs)) {
+		t.Fatalf("merged count %d, want %d", merged.Count(), len(xs))
+	}
+	if got, want := merged.Summary(), stats.Summarize(xs); got != want {
+		t.Fatalf("merged summary %+v, oracle %+v", got, want)
+	}
+	for _, p := range []float64{0, 10, 50, 95, 99, 100} {
+		if got, want := merged.Quantile(p), stats.Percentile(xs, p); got != want {
+			t.Fatalf("merged p%v = %v, oracle %v", p, got, want)
+		}
+	}
+}
+
+// rankErrBound is the documented worst-case relative rank error of a
+// compacted sketch: log2(2n/k)/k.
+func rankErrBound(n, k int) float64 {
+	if n <= k {
+		return 0
+	}
+	return math.Log2(2*float64(n)/float64(k)) / float64(k)
+}
+
+// checkWithinBound asserts every standard percentile of the sketch lands
+// within the documented rank-error window of the exact oracle.
+func checkWithinBound(t *testing.T, name string, k int, xs []float64) {
+	t.Helper()
+	s := sketchOf(k, xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	slack := int(math.Ceil(rankErrBound(n, k)*float64(n))) + 1
+	for _, p := range []float64{50, 95, 99} {
+		got := s.Quantile(p)
+		rank := int(math.Ceil(p/100*float64(n))) - 1
+		lo, hi := rank-slack, rank+slack
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		if got < sorted[lo] || got > sorted[hi] {
+			t.Errorf("%s: p%v = %v outside rank window [%v, %v] (±%d ranks of %d)",
+				name, p, got, sorted[lo], sorted[hi], slack, n)
+		}
+	}
+	if s.Min() != sorted[0] || s.Max() != sorted[n-1] {
+		t.Errorf("%s: min/max drifted: %v/%v want %v/%v", name, s.Min(), s.Max(), sorted[0], sorted[n-1])
+	}
+}
+
+// TestSketchErrorBoundScenarioMixes drives the compacted regime (small k,
+// thousands of samples) with the latency-shaped distributions every
+// registered scenario mix actually produces — arrival gaps, input lengths,
+// output lengths, think times — and checks the documented error bound.
+func TestSketchErrorBoundScenarioMixes(t *testing.T) {
+	const n, k = 4000, 64
+	for _, sc := range workload.Scenarios() {
+		gaps := make([]float64, 0, n)
+		inputs := make([]float64, 0, n)
+		outputs := make([]float64, 0, n)
+		if sc.ClosedLoop() {
+			convs, err := sc.Plan(n/3, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := 0.0
+			for _, c := range convs {
+				gaps = append(gaps, c.Arrival.Seconds()-prev)
+				prev = c.Arrival.Seconds()
+				for _, turn := range c.Turns {
+					inputs = append(inputs, float64(turn.Input))
+					outputs = append(outputs, float64(turn.Output))
+				}
+			}
+		} else {
+			reqs, err := sc.Requests(n, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := 0.0
+			for _, r := range reqs {
+				gaps = append(gaps, r.Arrival.Seconds()-prev)
+				prev = r.Arrival.Seconds()
+				inputs = append(inputs, float64(r.InputLen))
+				outputs = append(outputs, float64(r.OutputLen))
+			}
+		}
+		checkWithinBound(t, sc.Name+"/gaps", k, gaps)
+		checkWithinBound(t, sc.Name+"/inputs", k, inputs)
+		checkWithinBound(t, sc.Name+"/outputs", k, outputs)
+	}
+}
+
+// TestSketchErrorBoundRandom widens the property search beyond the scenario
+// shapes: lognormal, uniform, bimodal, and sorted adversarial streams across
+// several seeds and sizes.
+func TestSketchErrorBoundRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range []int{500, 3000, 20000} {
+			lognormal := make([]float64, n)
+			uniform := make([]float64, n)
+			bimodal := make([]float64, n)
+			for i := 0; i < n; i++ {
+				lognormal[i] = math.Exp(0.8 * rng.NormFloat64())
+				uniform[i] = rng.Float64()
+				if rng.Float64() < 0.2 {
+					bimodal[i] = 100 + rng.Float64()
+				} else {
+					bimodal[i] = rng.Float64()
+				}
+			}
+			ascending := append([]float64(nil), lognormal...)
+			sort.Float64s(ascending)
+			for _, k := range []int{32, 128} {
+				checkWithinBound(t, "lognormal", k, lognormal)
+				checkWithinBound(t, "uniform", k, uniform)
+				checkWithinBound(t, "bimodal", k, bimodal)
+				checkWithinBound(t, "ascending", k, ascending)
+			}
+		}
+	}
+}
+
+// TestSketchDeterministic pins bit-for-bit reproducibility: the same add
+// sequence yields deeply equal sketches and identical serialised bytes, with
+// no dependence on how often the sketch was queried in between.
+func TestSketchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	a, b := sketchOf(96, xs), sketchOf(96, xs)
+	a.Quantile(95) // queries must not perturb state
+	a.Summary()
+	a.CountLE(0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical add sequences produced different sketches")
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("identical sketches serialised to different bytes")
+	}
+}
+
+// TestSketchJSONRoundTrip pins the checkpoint contract: export → import →
+// export is byte-identical, the imported sketch answers queries identically,
+// and corrupted weight accounting is rejected.
+func TestSketchJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 50, 5000} {
+		s := stats.NewSketchK(64)
+		for i := 0; i < n; i++ {
+			s.Add(rng.ExpFloat64())
+		}
+		first, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back stats.Sketch
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("n=%d: round-trip not byte-identical:\n%s\n%s", n, first, second)
+		}
+		if got, want := back.Summary(), s.Summary(); got != want {
+			t.Fatalf("n=%d: imported summary %+v, original %+v", n, got, want)
+		}
+		if back.Count() != s.Count() || back.Min() != s.Min() || back.Max() != s.Max() {
+			t.Fatalf("n=%d: imported count/min/max drifted", n)
+		}
+	}
+
+	var bad stats.Sketch
+	if err := json.Unmarshal([]byte(`{"k":64,"count":7,"min":0,"max":1,"flips":[false],"levels":[[0.5]]}`), &bad); err == nil {
+		t.Fatal("weight-violating sketch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"k":1,"count":0,"min":0,"max":0,"flips":[],"levels":[]}`), &bad); err == nil {
+		t.Fatal("undersized capacity accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"k":64,"count":0,"min":0,"max":0,"flips":[false],"levels":[]}`), &bad); err == nil {
+		t.Fatal("mismatched flips/levels accepted")
+	}
+}
+
+// TestPercentileInPlace pins the windowed-signal fix: identical values to
+// the copying oracle, and zero allocations in the fill → query → reset
+// steady state the autoscaler runs every control tick.
+func TestPercentileInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 777)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for _, p := range []float64{0, 25, 50, 95, 99, 100} {
+		want := stats.Percentile(xs, p) // copies; xs untouched
+		if got := stats.PercentileInPlace(append([]float64(nil), xs...), p); got != want {
+			t.Fatalf("p%v = %v, want %v", p, got, want)
+		}
+	}
+	if got := stats.PercentileInPlace(nil, 95); got != 0 {
+		t.Fatalf("empty window p95 = %v, want 0", got)
+	}
+
+	window := make([]float64, 0, 512)
+	tick := func() {
+		window = window[:0]
+		for i := 0; i < 400; i++ {
+			window = append(window, float64((i*2654435761)%1000))
+		}
+		stats.PercentileInPlace(window, 95)
+	}
+	tick() // warm up capacity
+	if allocs := testing.AllocsPerRun(100, tick); allocs != 0 {
+		t.Fatalf("windowed percentile cycle allocates %v times per tick, want 0", allocs)
+	}
+}
+
+// TestSketchWindowReuseAllocs pins the streaming side of the same
+// regression: a capacity-warmed sketch fills, merges, and resets without
+// allocating.
+func TestSketchWindowReuseAllocs(t *testing.T) {
+	s := stats.NewSketchK(256)
+	cycle := func() {
+		s.Reset()
+		for i := 0; i < 200; i++ {
+			s.Add(float64(i%37) * 0.5)
+		}
+	}
+	cycle() // warm up level storage
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("sketch window cycle allocates %v times, want 0", allocs)
+	}
+}

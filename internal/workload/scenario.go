@@ -152,6 +152,47 @@ func (s Scenario) Requests(n int, seed int64) ([]Request, error) {
 	return reqs, nil
 }
 
+// Each streams an open-loop request sequence one request at a time, in
+// arrival order, without ever materialising the slice — the generator the
+// constant-memory scale paths (cluster.RunSeq, BenchmarkMillionRequest)
+// consume, where a million-request stream must not cost a million-request
+// buffer. Arrivals are strictly increasing and the sequence is deterministic
+// for a fixed (n, seed). yield returning false stops the stream early.
+//
+// Draw order note: Requests consumes its rng for all n arrivals first and
+// only then samples lengths, which a one-at-a-time generator cannot
+// reproduce (arrival thinning consumes a data-dependent number of draws).
+// Each therefore owns two derived rngs — one for arrivals, one for mix and
+// length draws — so Each(n, seed) is its own deterministic stream, not a
+// replay of Requests(n, seed). docs/SCALE.md records this contract.
+func (s Scenario) Each(n int, seed int64, yield func(Request) bool) error {
+	if s.ClosedLoop() {
+		return fmt.Errorf("workload: scenario %q is closed-loop; generate a conversation plan with Plan", s.Name)
+	}
+	if n <= 0 {
+		return fmt.Errorf("workload: scenario %q request count %d must be positive", s.Name, n)
+	}
+	arrRng := rand.New(rand.NewSource(seed))
+	lenRng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	proc := s.NewArrivals()
+	t := units.Seconds(0)
+	for i := 0; i < n; i++ {
+		t = proc.NextAfter(t, arrRng)
+		w := s.pick(lenRng)
+		req := Request{
+			ID:        i,
+			InputLen:  w.Dataset.Input.Sample(lenRng),
+			OutputLen: w.Dataset.Output.Sample(lenRng),
+			Arrival:   t,
+			Class:     w.Class,
+		}
+		if !yield(req) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Trace realises the scenario as a replayable open-loop trace.
 func (s Scenario) Trace(n int, seed int64) (Trace, error) {
 	reqs, err := s.Requests(n, seed)

@@ -46,6 +46,7 @@ import (
 	"github.com/papi-sim/papi/internal/pim"
 	"github.com/papi-sim/papi/internal/sched"
 	"github.com/papi-sim/papi/internal/serving"
+	"github.com/papi-sim/papi/internal/stats"
 	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
@@ -341,6 +342,30 @@ func NewClusterFromSpecs(specs []DesignSpec, cfg Model, opt ClusterOptions) (*Cl
 
 // FleetDesignMetrics is one design's share of a mixed fleet's run.
 type FleetDesignMetrics = cluster.DesignMetrics
+
+// FleetAggregate is the constant-memory streaming form of a fleet's latency
+// distributions: deterministic mergeable quantile sketches fed at each
+// completion. FleetResult.Agg always carries one, so digests and attainment
+// need no per-request retention (see ClusterOptions.RetainRequests).
+type FleetAggregate = cluster.FleetAggregate
+
+// LatencySketch is the deterministic mergeable quantile sketch behind
+// FleetAggregate: constant memory, byte-stable JSON, and bit-identical to
+// the exact quantiles while a run stays within its exact regime.
+type LatencySketch = stats.Sketch
+
+// NewLatencySketch returns an empty sketch at the default accuracy.
+func NewLatencySketch() *LatencySketch { return stats.NewSketch() }
+
+// FleetCheckpoint is a byte-stable, mergeable snapshot of a completed fleet
+// run — FleetResult.Checkpoint()'s type — so a long run can split into
+// segments across processes and still report one merged digest.
+type FleetCheckpoint = cluster.Checkpoint
+
+// ImportFleetCheckpoint parses and validates an exported fleet checkpoint.
+func ImportFleetCheckpoint(data []byte) (*FleetCheckpoint, error) {
+	return cluster.ImportCheckpoint(data)
+}
 
 // RoundRobin cycles requests through the replicas in order.
 func RoundRobin() Router { return cluster.RoundRobin() }
