@@ -236,6 +236,42 @@ func BenchmarkResilience(b *testing.B) {
 	b.ReportMetric(f.Availability(), "availability")
 }
 
+// BenchmarkTieredMacroStep drives the flagship tiered-diurnal stream at
+// TLP = 4 through a fleet: both priority classes outstanding *and*
+// speculative commits — the two regimes that used to force the decode loop
+// back to one iteration per Step. Class-boundary macro windows now cover
+// them, and this benchmark rides the BENCH_PR<N>.json trajectory so a
+// change that silently reopens the fallback shows up as a wall-clock and
+// allocs/op jump.
+func BenchmarkTieredMacroStep(b *testing.B) {
+	sc, err := ScenarioByName("tiered-diurnal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := sc.Requests(192, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f *FleetResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewClusterByName("PAPI", OPT30B(), ClusterOptions{
+			Replicas: 2,
+			MaxBatch: 8,
+			Router:   LeastOutstanding(),
+			Serving:  DefaultOptions(4),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err = c.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.Completed), "completed")
+}
+
 // BenchmarkMillionRequest is the scale gate: one million tiered-diurnal
 // requests served by a 100-replica PAPI fleet through the constant-memory
 // streaming path — the lazy RunSeq iterator with retention off and the

@@ -28,12 +28,16 @@
 //	papiserve -timeout 5 -retries 1 -rate 40 -requests 96
 //	papiserve -scenario tiered-diurnal -requests 100000 -shards 8
 //	papiserve -rate 50 -requests 5000 -checkpoint day.json
+//	papiserve -scenario tiered-diurnal -requests 100000 -cpuprofile cpu.out
+//	papiserve -rate 40 -requests 10000 -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -77,6 +81,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "drive independent replicas on up to this many goroutines between fleet sync points; results are bit-identical to serial (open-loop streams only, see docs/SCALE.md)")
 		checkpt   = flag.String("checkpoint", "", "merge this run's mergeable fleet snapshot into the named .json (created if absent), so long runs split across invocations")
 		retain    = flag.Bool("retain-requests", false, "keep every per-request metrics record (FleetResult.Requests); off by default so large runs stay constant-memory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -96,6 +102,7 @@ func main() {
 		classes: *classes, kvBlocks: *kvBlocks, kvCold: *kvCold,
 		faults: *faultsIn, retries: *retries, timeoutS: *timeoutS,
 		shards: *shards, checkpoint: *checkpt, retainRequests: *retain,
+		cpuProfile: *cpuProf, memProfile: *memProf,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "papiserve:", err)
 		os.Exit(1)
@@ -104,7 +111,7 @@ func main() {
 
 type options struct {
 	design, modelName, dataset, routerName, sweep, scenario, traceIn, traceOut string
-	autoscale, faults, checkpoint                                              string
+	autoscale, faults, checkpoint, cpuProfile, memProfile                      string
 
 	replicas, requests, maxBatch, spec, kvBlocks, retries, shards int
 	seed                                                          int64
@@ -112,7 +119,41 @@ type options struct {
 	retainRequests                                                bool
 }
 
+// run brackets the simulation with the optional pprof captures so the
+// fleet-scale hot path (macro-stepping, sharded barriers, the routing
+// signals) can be profiled exactly as papibench profiles a single engine.
 func run(o options) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := serve(o); err != nil {
+		return err
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Settle the heap first so the profile shows live retention, not
+		// garbage the next collection would have reclaimed anyway.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func serve(o options) error {
 	cfg, err := model.ByName(o.modelName)
 	if err != nil {
 		return err

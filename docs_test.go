@@ -161,7 +161,7 @@ var commandFlags = map[string]map[string]bool{
 		"router", "rate", "requests", "maxbatch", "spec", "seed", "slo",
 		"target", "sweep", "scenario", "trace", "save-trace", "autoscale",
 		"classes", "kv-blocks", "kv-cold", "faults", "retries", "timeout",
-		"shards", "checkpoint", "retain-requests"),
+		"shards", "checkpoint", "retain-requests", "cpuprofile", "memprofile"),
 	"papibench": set("figure", "design", "list-designs", "fastpath",
 		"cpuprofile", "memprofile", "faults"),
 	"papivet": set("waivers"),

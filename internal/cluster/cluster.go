@@ -101,14 +101,13 @@ type Options struct {
 
 	// Shards > 1 lets independent replicas advance in parallel between
 	// fleet-level synchronization points (arrival routing, autoscaler
-	// ticks), on up to Shards goroutines. Results are bit-identical to the
-	// serial schedule — replica steps never interact between barriers, and
-	// everything cross-replica still fires in kernel order — which the
-	// equivalence tests pin on both decode paths. Open-loop Run (and
-	// RunSeq) only: closed-loop plans couple replicas through follow-ups,
-	// so RunPlan rejects Shards > 1, and a run with the failure machinery
-	// armed (whose kernel carries cross-replica events between arrivals)
-	// falls back to the serial schedule. 0 or 1 is serial.
+	// ticks, fault edges, timeout deadlines, retry re-injections), on up to
+	// Shards goroutines. Results are bit-identical to the serial schedule —
+	// replica steps never interact between barriers, and everything
+	// cross-replica still fires in kernel order — which the equivalence
+	// tests pin on both decode paths, with and without a fault plan armed.
+	// Open-loop Run (and RunSeq) only: closed-loop plans couple replicas
+	// through follow-ups, so RunPlan rejects Shards > 1. 0 or 1 is serial.
 	Shards int
 }
 
@@ -209,6 +208,10 @@ type Replica struct {
 	// event queue, or — sharded — recorded in nextStep), so arrivals must
 	// not double-schedule it.
 	scheduled bool
+	// stepEvent is this replica's kernel step callback, built once on first
+	// schedule and re-armed for every subsequent step: a million-step run
+	// re-posts one closure instead of allocating one per step.
+	stepEvent sim.Event
 	// nextStep is the armed step instant when the run is sharded: sharded
 	// replicas keep their step cadence out of the kernel and are driven in
 	// parallel up to each barrier instead.
@@ -231,6 +234,13 @@ type Replica struct {
 	// the scaler (pendStopAt is the drained instant).
 	pendingStop bool
 	pendStopAt  units.Seconds
+	// finishedIDs buffers the phase's completions for the failure ledger
+	// when the run is sharded: marking a request done is a cross-replica
+	// write (the ledger is shared), so it is deferred to the barrier, which
+	// flushes the buffers in replica order. Distinct requests' ledger
+	// entries are independent and a request is outstanding on at most one
+	// replica, so flush order between replicas cannot change any entry.
+	finishedIDs []int
 
 	// Elastic lifecycle (see replicaState). bootAt is the instant the
 	// replica powered on (0 for the initial fleet), liveAt when it started
@@ -515,13 +525,16 @@ func (c *Cluster) newFleetRun() (*fleetRun, error) {
 }
 
 // shard arms the parallel barrier driver when the run qualifies: Shards > 1
-// and no failure machinery (fault edges, timeouts, and retry re-injections
-// are kernel events between arrivals that couple replicas mid-phase, so
-// those runs stay serial — and bit-identical to the sharded results they
-// would have produced, since sharding never changes results). Callers must
-// shard before the first arrival is scheduled.
+// on an open-loop run. The failure machinery shards too: fault edges,
+// timeout deadlines, and retry re-injections are ordinary kernel events, so
+// they are fleet-level barriers like arrivals — every resilience mutation
+// (crash, cancel, re-route, perturbation change) runs in exact kernel order
+// between parallel phases, and the one ledger write a step itself performs
+// (marking a completion done) is buffered replica-locally and flushed at
+// the barrier (see Replica.finishedIDs). Callers must shard before the
+// first arrival is scheduled.
 func (r *fleetRun) shard() {
-	if r.c.opt.Shards > 1 && r.resil == nil {
+	if r.c.opt.Shards > 1 {
 		r.sharded = true
 		r.shards = r.c.opt.Shards
 	}
@@ -634,16 +647,19 @@ func (r *fleetRun) schedule(rep *Replica, at units.Seconds) {
 		rep.nextStep = at
 		return
 	}
-	r.kernel.At(at, func(now units.Seconds) {
-		rep.scheduled = false
-		if r.err != nil {
-			return
+	if rep.stepEvent == nil {
+		rep.stepEvent = func(now units.Seconds) {
+			rep.scheduled = false
+			if r.err != nil {
+				return
+			}
+			r.stepReplica(rep, now)
+			if rep.err != nil && r.err == nil {
+				r.err = rep.err
+			}
 		}
-		r.stepReplica(rep, now)
-		if rep.err != nil && r.err == nil {
-			r.err = rep.err
-		}
-	})
+	}
+	r.kernel.At(at, rep.stepEvent)
 }
 
 // stepReplica advances one replica iteration at `now`: it absorbs any idle
@@ -669,8 +685,16 @@ func (r *fleetRun) stepReplica(rep *Replica, now units.Seconds) {
 		r.scaler.observeStep(rep, info)
 	}
 	if r.resil != nil {
-		for _, req := range info.Finished {
-			r.resil.finished(req)
+		if r.sharded {
+			// The ledger is shared fleet state; a parallel-phase step only
+			// buffers, and the barrier flushes (see advanceShards).
+			for _, req := range info.Finished {
+				rep.finishedIDs = append(rep.finishedIDs, req.ID)
+			}
+		} else {
+			for _, req := range info.Finished {
+				r.resil.finished(req.ID)
+			}
 		}
 	}
 	if r.onFinish != nil {
@@ -744,6 +768,13 @@ func (r *fleetRun) route(req workload.Request, now units.Seconds) *Replica {
 	if r.resil != nil && r.resil.shedArrival(req) {
 		return nil
 	}
+	if len(r.eligible) == 0 && r.resil != nil {
+		// Every replica is down (faults can empty a static fleet): the
+		// arrival strands like a failover casualty instead of panicking the
+		// router — parked for a replacement boot, or terminally failed.
+		r.resil.strand(req, now)
+		return nil
+	}
 	idx := r.c.opt.Router.Route(req, r.eligible)
 	if idx < 0 || idx >= len(r.eligible) {
 		r.err = fmt.Errorf("cluster: router %s chose invalid replica %d of %d",
@@ -766,7 +797,8 @@ func (r *fleetRun) finish(want int) (*FleetResult, error) {
 
 // drain runs the simulation to completion. Serial runs simply drain the
 // kernel — replica steps are kernel events. Sharded runs alternate: every
-// kernel event (arrival, control tick, replica activation) is a barrier,
+// kernel event (arrival, control tick, replica activation, fault edge,
+// timeout deadline, retry re-injection) is a barrier,
 // and between barriers the armed replicas advance in parallel, each
 // strictly below the barrier instant, so everything cross-replica still
 // fires in exact kernel order and the result is bit-identical to the
@@ -825,6 +857,17 @@ func (r *fleetRun) advanceShards(barrier units.Seconds) {
 		for _, rep := range r.due {
 			if rep.err != nil && r.err == nil {
 				r.err = rep.err
+			}
+			if len(rep.finishedIDs) > 0 {
+				// Ledger completions deferred from the parallel phase land
+				// before the barrier's kernel event, exactly where the
+				// serial schedule (steps strictly below the event) puts
+				// them; a stale timeout at the barrier then sees the
+				// request done, as it would serially.
+				for _, id := range rep.finishedIDs {
+					r.resil.finished(id)
+				}
+				rep.finishedIDs = rep.finishedIDs[:0]
 			}
 		}
 	}

@@ -14,9 +14,9 @@ import (
 // whole FleetResult — every replica's Result, the realised stream, the
 // latency digests — deep-equal to the reference decode path.
 
-func runFleet(t *testing.T, mode serving.FastPathMode, drive func(*Cluster) (*FleetResult, error)) *FleetResult {
+func runFleet(t *testing.T, mode serving.FastPathMode, tlp int, drive func(*Cluster) (*FleetResult, error)) *FleetResult {
 	t.Helper()
-	opt := serving.DefaultOptions(1)
+	opt := serving.DefaultOptions(tlp)
 	opt.FastPath = mode
 	cl, err := NewByName("PAPI", model.OPT30B(), Options{
 		Replicas: 3,
@@ -36,10 +36,26 @@ func runFleet(t *testing.T, mode serving.FastPathMode, drive func(*Cluster) (*Fl
 
 func TestFastPathEquivalenceFleetOpenLoop(t *testing.T) {
 	reqs := workload.GeneralQA().Poisson(40, 60, 23)
-	fast := runFleet(t, serving.FastPathOn, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
-	ref := runFleet(t, serving.FastPathOff, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
-	if !reflect.DeepEqual(fast, ref) {
-		t.Fatalf("open-loop fleet diverged:\n fast: %+v\n  ref: %+v", fast, ref)
+	for _, tlp := range []int{1, 4} {
+		fast := runFleet(t, serving.FastPathOn, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+		ref := runFleet(t, serving.FastPathOff, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("open-loop fleet TLP=%d diverged:\n fast: %+v\n  ref: %+v", tlp, fast, ref)
+		}
+	}
+}
+
+// TestFastPathEquivalenceFleetTiered runs the flagship tiered-diurnal stream
+// — the regime PR 10's priority-aware macro windows un-fallbacked — through
+// a fleet on both decode paths and both TLP regimes.
+func TestFastPathEquivalenceFleetTiered(t *testing.T) {
+	reqs := tieredStream(t, 72, 37)
+	for _, tlp := range []int{1, 4} {
+		fast := runFleet(t, serving.FastPathOn, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+		ref := runFleet(t, serving.FastPathOff, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.Run(reqs) })
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("tiered fleet TLP=%d diverged:\n fast: %+v\n  ref: %+v", tlp, fast, ref)
+		}
 	}
 }
 
@@ -52,9 +68,11 @@ func TestFastPathEquivalenceFleetClosedLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast := runFleet(t, serving.FastPathOn, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
-	ref := runFleet(t, serving.FastPathOff, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
-	if !reflect.DeepEqual(fast, ref) {
-		t.Fatalf("closed-loop fleet diverged:\n fast: %+v\n  ref: %+v", fast, ref)
+	for _, tlp := range []int{1, 4} {
+		fast := runFleet(t, serving.FastPathOn, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
+		ref := runFleet(t, serving.FastPathOff, tlp, func(cl *Cluster) (*FleetResult, error) { return cl.RunPlan(plan) })
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("closed-loop fleet TLP=%d diverged:\n fast: %+v\n  ref: %+v", tlp, fast, ref)
+		}
 	}
 }

@@ -227,16 +227,24 @@ func (z *resilience) flushParked(now units.Seconds) {
 			z.run.route(req, now)
 			continue
 		}
-		t := z.track[req.ID]
-		if t == nil {
-			t = &reqTrack{cur: req}
-			z.track[req.ID] = t
-		}
-		if z.run.scaler == nil {
-			z.fail(t, req, "no-replicas", now)
-		} else {
-			z.waiting = append(z.waiting, req)
-		}
+		z.strand(req, now)
+	}
+}
+
+// strand tracks a request that found no live replica to land on: parked for
+// the autoscaler's replacement boot when one may come, terminally failed
+// otherwise (a static fleet has no replacement coming). Shared by brownout
+// flushes and arrivals routed into a fully crashed fleet.
+func (z *resilience) strand(req workload.Request, now units.Seconds) {
+	t := z.track[req.ID]
+	if t == nil {
+		t = &reqTrack{cur: req}
+		z.track[req.ID] = t
+	}
+	if z.run.scaler == nil {
+		z.fail(t, req, "no-replicas", now)
+	} else {
+		z.waiting = append(z.waiting, req)
 	}
 }
 
@@ -282,9 +290,11 @@ func (z *resilience) checkTimeout(id, attempt int, now units.Seconds) {
 	z.handleCasualty(c, now, "timeout")
 }
 
-// finished marks a request's ledger entry complete.
-func (z *resilience) finished(req workload.Request) {
-	if t := z.track[req.ID]; t != nil {
+// finished marks a request's ledger entry complete. Sharded runs call it
+// only at barriers (completions buffer on the finishing replica mid-phase),
+// serial runs at the step itself.
+func (z *resilience) finished(id int) {
+	if t := z.track[id]; t != nil {
 		t.done = true
 		t.rep = nil
 	}

@@ -116,35 +116,68 @@ func TestShardedMixedFleetMatchesSerial(t *testing.T) {
 	diffFleet(t, "mixed", run(1), run(4))
 }
 
-// TestShardedResilienceFallsBackSerial pins the documented fallback: a run
-// with the failure machinery armed ignores Shards (cross-replica fault events
-// between arrivals have no sound barrier schedule) and still produces exactly
-// the serial result.
-func TestShardedResilienceFallsBackSerial(t *testing.T) {
-	run := func(shards int) *FleetResult {
-		cl, err := New(func() *core.System { return core.NewPAPI(0) }, model.LLaMA65B(), Options{
-			Replicas: 3,
-			MaxBatch: 8,
-			Router:   LeastOutstanding(),
-			Serving:  serving.DefaultOptions(1),
-			Faults: &faults.Plan{Name: "crash", Faults: []faults.Fault{
-				{Kind: faults.KindCrash, Replica: 0, At: 0.8},
-			}},
-			Retries:        1,
-			Shards:         shards,
-			RetainRequests: true,
-			RetainStream:   true,
+// TestShardedFaultsMatchSerial extends the equivalence pin to fault-injected
+// fleets: fault edges, timeout deadlines, and retry re-injections are kernel
+// events, so the sharded driver treats them as barriers and must reproduce
+// the serial failure trace — casualties, retries, failures, lost tokens —
+// bit-for-bit. (Before PR 10 these runs fell back to the serial schedule.)
+func TestShardedFaultsMatchSerial(t *testing.T) {
+	crashPlan := &faults.Plan{Name: "crash", Faults: []faults.Fault{
+		{Kind: faults.KindCrash, Replica: 0, At: 0.8},
+	}}
+	windowPlan := &faults.Plan{Name: "windows", Faults: []faults.Fault{
+		{Kind: faults.KindStraggler, Replica: 1, At: 0.3, Factor: 2.5, Duration: 0.6},
+		{Kind: faults.KindBrownout, At: 0.7, Factor: 1.8, Duration: 0.4},
+		{Kind: faults.KindCrash, Replica: 2, At: 1.1},
+	}}
+	for _, tc := range []struct {
+		name    string
+		plan    *faults.Plan
+		timeout units.Seconds
+		stream  func(t *testing.T) []workload.Request
+	}{
+		// Crash + bounded retries on a single-class stream.
+		{"crash-retry", crashPlan, 0,
+			func(t *testing.T) []workload.Request { return workload.GeneralQA().Poisson(48, 60, 31) }},
+		// Straggler and brownout windows plus a crash on the tiered stream
+		// (brownouts shed batch-class arrivals), with per-attempt timeouts
+		// arming deadline events between arrivals.
+		{"windows-tiered", windowPlan, units.Seconds(2),
+			func(t *testing.T) []workload.Request { return tieredStream(t, 64, 31) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards int) *FleetResult {
+				cl, err := New(func() *core.System { return core.NewPAPI(0) }, model.LLaMA65B(), Options{
+					Replicas:       3,
+					MaxBatch:       8,
+					Router:         LeastOutstanding(),
+					Serving:        serving.DefaultOptions(1),
+					Faults:         tc.plan,
+					Retries:        1,
+					Timeout:        tc.timeout,
+					RetryBackoff:   units.Seconds(0.05),
+					Shards:         shards,
+					RetainRequests: true,
+					RetainStream:   true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := cl.Run(tc.stream(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return f
+			}
+			serial := run(1)
+			if serial.Faults == 0 {
+				t.Fatalf("fault plan never fired: the equivalence pin is vacuous")
+			}
+			for _, shards := range []int{2, 4} {
+				diffFleet(t, tc.name, serial, run(shards))
+			}
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		f, err := cl.Run(workload.GeneralQA().Poisson(48, 60, 31))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return f
 	}
-	diffFleet(t, "resilience-fallback", run(1), run(4))
 }
 
 // TestRunPlanRejectsShards: closed-loop plans couple replicas through
@@ -320,24 +353,61 @@ func TestVacuousScores(t *testing.T) {
 }
 
 // FuzzShardedEquivalence drives random small fleets through both schedules —
-// the CI fuzz target backing the equivalence pin with adversarial shapes.
+// the CI fuzz target backing the equivalence pin with adversarial shapes,
+// including fault-injected ones: a randomized crash (replica and instant), a
+// degradation window, and per-attempt timeouts, so barrier-scheduled failure
+// events are fuzzed against the serial failure trace.
 func FuzzShardedEquivalence(f *testing.F) {
-	f.Add(int64(1), uint8(16), uint8(2), uint8(2), false)
-	f.Add(int64(7), uint8(40), uint8(3), uint8(4), true)
-	f.Add(int64(23), uint8(8), uint8(1), uint8(3), false)
-	f.Fuzz(func(t *testing.T, seed int64, n, replicas, shards uint8, elastic bool) {
+	f.Add(int64(1), uint8(16), uint8(2), uint8(2), false, uint8(0), uint8(0), false)
+	f.Add(int64(7), uint8(40), uint8(3), uint8(4), true, uint8(0), uint8(0), false)
+	f.Add(int64(23), uint8(8), uint8(1), uint8(3), false, uint8(0), uint8(0), false)
+	f.Add(int64(31), uint8(48), uint8(3), uint8(4), false, uint8(3), uint8(40), true)
+	f.Add(int64(11), uint8(32), uint8(2), uint8(2), true, uint8(7), uint8(90), false)
+	f.Fuzz(func(t *testing.T, seed int64, n, replicas, shards uint8, elastic bool,
+		fault, faultAt uint8, timeout bool) {
+
 		nreq := int(n%64) + 1
 		reps := int(replicas%4) + 1
 		nshards := int(shards%6) + 2
+		// fault%4 selects the plan shape: 0 none, 1 crash, 2 crash+straggler,
+		// 3 crash+brownout. faultAt places the crash inside the stream's
+		// ~[0, 2s] arrival span so it can land before, between, or after
+		// most arrivals.
+		var plan *faults.Plan
+		at := units.Seconds(float64(faultAt%100) / 50)
+		switch fault % 4 {
+		case 1:
+			plan = &faults.Plan{Name: "f1", Faults: []faults.Fault{
+				{Kind: faults.KindCrash, Replica: int(fault) % reps, At: float64(at)},
+			}}
+		case 2:
+			plan = &faults.Plan{Name: "f2", Faults: []faults.Fault{
+				{Kind: faults.KindStraggler, Replica: int(fault) % reps, At: float64(at), Factor: 3, Duration: 0.5},
+				{Kind: faults.KindCrash, Replica: int(fault+1) % reps, At: float64(at) + 0.2},
+			}}
+		case 3:
+			plan = &faults.Plan{Name: "f3", Faults: []faults.Fault{
+				{Kind: faults.KindBrownout, At: float64(at), Factor: 2, Duration: 0.6},
+				{Kind: faults.KindCrash, Replica: int(fault) % reps, At: float64(at) + 0.3},
+			}}
+		}
 		run := func(s int) *FleetResult {
 			opt := Options{
 				Replicas:       reps,
 				MaxBatch:       4,
 				Router:         LeastOutstanding(),
 				Serving:        serving.DefaultOptions(1),
+				Faults:         plan,
 				Shards:         s,
 				RetainRequests: true,
 				RetainStream:   true,
+			}
+			if plan != nil {
+				opt.Retries = 1
+				opt.RetryBackoff = units.Seconds(0.05)
+			}
+			if timeout {
+				opt.Timeout = units.Seconds(1.5)
 			}
 			if elastic {
 				opt.Autoscale = DefaultAutoscale(reps, reps+2, workload.SLO{TokenLatency: units.Milliseconds(8)})
@@ -355,8 +425,8 @@ func FuzzShardedEquivalence(f *testing.F) {
 		serial, sharded := run(1), run(nshards)
 		if !reflect.DeepEqual(serial, sharded) {
 			diffFleet(t, "fuzz", serial, sharded)
-			t.Fatalf("sharded run diverged (seed=%d n=%d replicas=%d shards=%d elastic=%v)",
-				seed, nreq, reps, nshards, elastic)
+			t.Fatalf("sharded run diverged (seed=%d n=%d replicas=%d shards=%d elastic=%v fault=%d at=%v timeout=%v)",
+				seed, nreq, reps, nshards, elastic, fault%4, at, timeout)
 		}
 	})
 }

@@ -3,13 +3,8 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
-
-// sweepCell carries one worker's output back to its input slot.
-type sweepCell[R any] struct {
-	idx int
-	out R
-}
 
 // parallelMap runs fn over every item on a pool of `workers` goroutines and
 // returns the results in input order, so a parallel sweep is
@@ -17,6 +12,12 @@ type sweepCell[R any] struct {
 // of evaluation order — which holds for the experiment sweeps: every cell
 // builds its own cluster from fixed seeds. workers ≤ 1 runs serially on the
 // calling goroutine. A panic inside fn is re-raised on the caller.
+//
+// Workers claim items off a shared atomic counter and write straight into
+// the caller-owned result slice (disjoint slots, so no synchronization
+// beyond the claim): no per-item channel round-trips or collector
+// goroutine, whose signaling overhead used to exceed the per-cell work on
+// small sweeps and made the parallel capacity sweep slower than serial.
 func parallelMap[T, R any](items []T, workers int, fn func(T) R) []R {
 	out := make([]R, len(items))
 	if workers <= 1 || len(items) <= 1 {
@@ -29,43 +30,34 @@ func parallelMap[T, R any](items []T, workers int, fn func(T) R) []R {
 		workers = len(items)
 	}
 
-	jobs := make(chan int)
-	results := make(chan sweepCell[R])
-	panics := make(chan any, workers)
+	var next atomic.Int64
+	panics := make(chan any, 1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				func() {
-					defer func() {
-						if p := recover(); p != nil {
-							// Keep only the first panic; a worker may trip
-							// on several items and must never block here.
-							select {
-							case panics <- p:
-							default:
-							}
-						}
-					}()
-					results <- sweepCell[R]{idx: i, out: fn(items[i])}
-				}()
+			defer func() {
+				if p := recover(); p != nil {
+					// Keep only the first panic; the other workers drain
+					// their claimed items and must never block here.
+					select {
+					case panics <- p:
+					default:
+					}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(items[i])
 			}
 		}()
 	}
-	go func() {
-		for i := range items {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-		close(panics)
-	}()
-	for c := range results {
-		out[c.idx] = c.out
-	}
+	wg.Wait()
+	close(panics)
 	if p, ok := <-panics; ok {
 		panic(p)
 	}

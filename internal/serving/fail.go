@@ -97,6 +97,7 @@ func (s *Stepper) Fail() []Casualty {
 	}
 	s.active = nil
 	s.pending = nil
+	s.intHint = 0
 	return out
 }
 
@@ -115,6 +116,9 @@ func (s *Stepper) Cancel(id int) (Casualty, bool, error) {
 			continue
 		}
 		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		if i < s.intHint {
+			s.intHint--
+		}
 		s.countClass(r.Class, &s.pendInteractive, &s.pendBatch, -1)
 		s.kvDemandAll -= r.kvBytes
 		c := Casualty{Request: r.Request, Generated: r.generated}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/papi-sim/papi/internal/core"
 	"github.com/papi-sim/papi/internal/model"
+	"github.com/papi-sim/papi/internal/units"
 	"github.com/papi-sim/papi/internal/workload"
 )
 
@@ -78,6 +79,143 @@ func TestFastPathEquivalenceStream(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestFastPathEquivalenceTiered pins the PR 10 coverage extension: tiered
+// streams (both priority classes outstanding, with real preemption churn)
+// macro-step on both the deterministic and speculative regimes and must
+// still reproduce the reference path exactly. The preemption guard makes
+// the pin non-vacuous — the stream is tuned so interactive admissions
+// actually evict batch requests.
+func TestFastPathEquivalenceTiered(t *testing.T) {
+	// Mixed-class streams across every evaluated design and both regimes.
+	reqs := workload.AssignClasses(workload.GeneralQA().Poisson(32, 60, 13), 0.5, 17)
+	for name, newSys := range fastpathSystems() {
+		for _, tlp := range []int{1, 4} {
+			fast, ref := runBoth(t, newSys, tlp, func(e *Engine) (Result, error) {
+				return e.RunContinuous(reqs, 4)
+			})
+			if !reflect.DeepEqual(fast, ref) {
+				t.Errorf("%s tiered TLP=%d: fast path diverged from reference\n fast: %+v\n  ref: %+v",
+					name, tlp, fast, ref)
+			}
+		}
+	}
+
+	// Preemption churn: a KV pool saturated with batch-class long-context
+	// work (the TestStepperInvariantsUnderPreemption shape) forces
+	// interactive admissions to evict, so the window bound's preemption
+	// trigger is exercised for real on both regimes.
+	var saturated []workload.Request
+	for i := 0; i < 60; i++ {
+		saturated = append(saturated, workload.Request{ID: i, InputLen: 2048, OutputLen: 2048,
+			Class: workload.ClassBatch})
+	}
+	for i := 0; i < 12; i++ {
+		saturated = append(saturated, workload.Request{ID: 60 + i, InputLen: 2048, OutputLen: 64,
+			Arrival: units.Seconds(0.5 + 0.5*float64(i)), Class: workload.ClassInteractive})
+	}
+	for _, tlp := range []int{1, 4} {
+		var fast, ref Result
+		for _, mode := range []FastPathMode{FastPathOn, FastPathOff} {
+			opt := DefaultOptions(tlp)
+			opt.FastPath = mode
+			eng, err := New(core.NewPAPI(0), model.GPT3_175B(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.RunContinuous(saturated, 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == FastPathOn {
+				fast = res
+			} else {
+				ref = res
+			}
+		}
+		if fast.Preemptions == 0 {
+			t.Errorf("TLP=%d: saturated tiered stream triggered no preemptions — the pin is vacuous", tlp)
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Errorf("preemptive tiered TLP=%d: fast path diverged from reference\n fast: %+v\n  ref: %+v",
+				tlp, fast, ref)
+		}
+	}
+}
+
+// FuzzMacroEquivalence searches the macro-window configuration space — TLP
+// 1–4, randomized class mixes, admission caps, arrival rates, and caller
+// horizon schedules (the cluster driver's SetHorizon cadence) — for an
+// input that splits the fast path from the reference. Horizons only bound
+// fast-path windows, so both paths are driven with the identical schedule
+// and must agree bit-for-bit anyway.
+func FuzzMacroEquivalence(f *testing.F) {
+	f.Add(int64(3), byte(0), byte(2), byte(3), byte(12), false)
+	f.Add(int64(11), byte(3), byte(1), byte(0), byte(40), false)
+	f.Add(int64(29), byte(1), byte(4), byte(6), byte(3), true)
+	f.Add(int64(101), byte(2), byte(3), byte(2), byte(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, tlpPick, classPick, batchPick, horizPick byte, static bool) {
+		if seed < 0 {
+			seed = -seed
+		}
+		tlp := 1 + int(tlpPick)%4
+		batchFrac := float64(classPick%5) * 0.25
+		maxBatch := 2 + int(batchPick)%8
+		n := 8 + int(seed%25)
+		rate := 20 + float64(seed%61)
+		var reqs []workload.Request
+		if static {
+			reqs = workload.GeneralQA().Generate(n, seed)
+		} else {
+			reqs = workload.GeneralQA().Poisson(n, rate, seed)
+		}
+		reqs = workload.AssignClasses(reqs, batchFrac, seed+1)
+		// 0 disables the horizon schedule; otherwise the caller re-arms a
+		// fresh bound every delta seconds, like the cluster kernel would.
+		delta := units.Seconds(float64(horizPick%50) * 1e-3)
+
+		run := func(mode FastPathMode) Result {
+			opt := DefaultOptions(tlp)
+			opt.Seed = seed
+			opt.FastPath = mode
+			eng, err := New(core.NewPAPI(0), model.OPT30B(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st *Stepper
+			if static {
+				st, err = eng.NewBatchStepper(reqs)
+			} else {
+				st, err = eng.NewStreamStepper(reqs, maxBatch)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			horizon := delta
+			for {
+				if delta > 0 {
+					for st.Now() >= horizon {
+						horizon += delta
+					}
+					st.SetHorizon(horizon)
+				}
+				info, err := st.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Kind == StepDrained {
+					break
+				}
+			}
+			return st.Finalize()
+		}
+		fast, ref := run(FastPathOn), run(FastPathOff)
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("macro window diverged (seed=%d tlp=%d frac=%.2f maxBatch=%d delta=%v static=%v)\n fast: %+v\n  ref: %+v",
+				seed, tlp, batchFrac, maxBatch, delta, static, fast, ref)
+		}
+	})
 }
 
 // TestFastPathEquivalenceSharedTable runs the fast path twice against one

@@ -89,6 +89,13 @@ type Stepper struct {
 	pendInteractive, pendBatch int
 	actInteractive, actBatch   int
 
+	// intHint is a lower bound on the index of the first interactive-class
+	// pending request: pending[:intHint] is all batch-class. firstInteractive
+	// advances it lazily and every queue edit keeps it a valid bound, so the
+	// priority-admission scan costs amortized O(1) per Step instead of
+	// rescanning a deep ready batch backlog on every iteration boundary.
+	intHint int
+
 	// kvStore is the block-level KV cache (nil without Options.KV); kvShare
 	// is true when its prefix index and cold tier are live — admission then
 	// runs on block commitments (see kvFits) instead of the byte ledger,
@@ -319,10 +326,11 @@ func (s *Stepper) countClass(c workload.Class, interactive, batch *int, delta in
 }
 
 // tiered reports whether both priority classes are outstanding — the regime
-// in which admission is priority-aware (interactive jumps blocked batch
-// traffic and may preempt it) and fast-path macro-stepping is disabled,
-// because an interior iteration boundary could then admit or evict a request
-// the head-of-queue window bound does not see.
+// in which admission is priority-aware: interactive jumps blocked batch
+// traffic and may preempt it. Fast-path macro windows must then be bounded
+// by the earliest class-boundary event instead of the queue head (see
+// macroArrivalBound), so no interior iteration boundary can admit or evict a
+// request the window bound does not see.
 func (s *Stepper) tiered() bool {
 	return s.pendBatch+s.actBatch > 0 && s.pendInteractive+s.actInteractive > 0
 }
@@ -362,6 +370,29 @@ func (s *Stepper) enqueue(rr *request) {
 	s.pending = append(s.pending, nil)
 	copy(s.pending[i+1:], s.pending[i:])
 	s.pending[i] = rr
+	switch {
+	case rr.Class != workload.ClassBatch:
+		if i < s.intHint {
+			s.intHint = i
+		}
+	case i <= s.intHint:
+		// A batch insert at or below the bound grows the all-batch prefix.
+		s.intHint++
+	}
+}
+
+// firstInteractive returns the index of the first interactive-class pending
+// request (len(pending) when none), advancing the cached all-batch prefix
+// bound as it skips.
+//
+//papivet:noalloc
+func (s *Stepper) firstInteractive() int {
+	i := s.intHint
+	for i < len(s.pending) && s.pending[i].Class == workload.ClassBatch {
+		i++
+	}
+	s.intHint = i
+	return i
 }
 
 // Now reports the engine-local clock: prefill plus decode plus idle time
@@ -509,14 +540,18 @@ func (s *Stepper) admit() error {
 	// tier) and bars batch admission below.
 	interactiveBlocked := false
 	if s.pendInteractive > 0 {
-		for i := 0; i < len(s.pending) && len(s.active) < s.maxBatch; {
+		// The queue is readyAt-ordered, so every request past a not-yet-ready
+		// one is not ready either: breaking at the first unready interactive
+		// admits exactly what a front-to-back scan would, and firstInteractive
+		// skips the batch backlog in amortized O(1) instead of re-walking it.
+		for len(s.active) < s.maxBatch {
+			i := s.firstInteractive()
+			if i == len(s.pending) {
+				break
+			}
 			cand := s.pending[i]
 			if cand.readyAt > s.clock {
 				break
-			}
-			if cand.Class == workload.ClassBatch {
-				i++
-				continue
 			}
 			if !s.kvFits(cand) {
 				ok, err := s.preemptFor(cand, &xferTime, &xferEnergy)
@@ -528,6 +563,7 @@ func (s *Stepper) admit() error {
 					break
 				}
 			}
+			// Removing at i == intHint leaves the all-batch prefix intact.
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
 			if err := place(cand); err != nil {
 				return err
@@ -546,6 +582,9 @@ func (s *Stepper) admit() error {
 				break
 			}
 			s.pending = s.pending[1:]
+			if s.intHint > 0 {
+				s.intHint--
+			}
 			if err := place(cand); err != nil {
 				return err
 			}
@@ -628,17 +667,8 @@ func (s *Stepper) preemptFor(cand *request, xt *units.Seconds, xe *units.Joules)
 		if s.kvStore.CommittedBlocks()-gain+worst > s.kvStore.HotBlocks() {
 			return false, nil
 		}
-	} else {
-		kvCap := s.eng.Sys.KVCapacity()
-		var evictable units.Bytes
-		for _, r := range s.active {
-			if r.Class == workload.ClassBatch {
-				evictable += r.kvBytes
-			}
-		}
-		if s.kvDemandActive-evictable+cand.kvBytes > kvCap {
-			return false, nil
-		}
+	} else if !s.preemptFeasible(cand) {
+		return false, nil
 	}
 	evicted := 0
 	for i := len(s.active) - 1; i >= 0 && !s.kvFits(cand); i-- {
@@ -678,8 +708,8 @@ func (s *Stepper) preemptFor(cand *request, xt *units.Seconds, xe *units.Joules)
 // the clock to the next arrival if nothing is runnable, or report the
 // stepper drained.
 //
-// On the fast path with TLP = 1, one Step may macro-step a whole run of
-// iterations (see macroStep); the stepper accounts for every arrival
+// On the fast path, one Step may macro-step a whole run of iterations (see
+// macroStep and macroStepSpec); the stepper accounts for every arrival
 // already in its pending queue, so RunBatch/RunContinuous-style drivers are
 // unaffected. A caller that instead injects arrivals incrementally with
 // Push between Step calls must bound each call with SetHorizon(t) — t being
@@ -733,17 +763,27 @@ func (s *Stepper) Step() (StepInfo, error) {
 
 	s.ensureTraces()
 
-	// TLP = 1 commits are deterministic (one token per request, no
-	// acceptance sampling), so the fast path can fast-forward a whole run of
-	// identical-RLP iterations; speculative decoding keeps per-iteration
-	// sampling but rides the memoized cost tables. Tiered streams (both
-	// priority classes outstanding) single-step: a macro window's
-	// head-of-queue bound cannot see mid-window priority admissions or
-	// preemptions. Perturbed steppers (straggler/brownout windows) also
-	// single-step: the stretch is priced per iteration, and a window edge may
-	// land on any iteration boundary.
-	if s.eng.fastPath && s.eng.Opt.TLP == 1 && !s.tiered() && !s.perturbed {
-		return s.macroStep()
+	// The fast path fast-forwards whole runs of identical-RLP iterations.
+	// macroArrivalBound computes the earliest instant an admission or
+	// preemption could change the active batch — queue-head arrival for a
+	// single class, the earliest class-boundary event for tiered streams —
+	// and the window never crosses it, so macro-stepping covers priority
+	// streams too. TLP = 1 commits are deterministic (one token per request
+	// per iteration), so the window's interior needs no commit walk at all
+	// (macroStep); speculative decoding (TLP > 1) keeps the per-iteration
+	// acceptance sampling and commit walk but skips the per-iteration
+	// decide/admit work and lets the caller run the window in one event
+	// (macroStepSpec). Perturbed steppers (straggler/brownout windows)
+	// single-step: the stretch is priced per iteration, and a window edge
+	// may land on any iteration boundary. So does the one regime where no
+	// sound window bound exists — see macroArrivalBound's ok = false.
+	if s.eng.fastPath && !s.perturbed {
+		if bound, ok := s.macroArrivalBound(); ok {
+			if s.eng.Opt.TLP == 1 {
+				return s.macroStep(bound)
+			}
+			return s.macroStepSpec(bound)
+		}
 	}
 
 	ev := s.scheduler.Decide()
@@ -839,18 +879,108 @@ func (s *Stepper) ensureTraces() {
 	s.res.IterStats = make([]IterationStat, 0, hint)
 }
 
+// macroArrivalBound computes the macro window's admission bound: the
+// earliest instant at which an admission or preemption could change the
+// active batch, +Inf when only a finish can (finishes already end every
+// window). Ending a window early is always safe — the next Step re-runs
+// admit for real — so every bound here may be conservative; the invariant
+// is only that the window never fast-forwards past a boundary the
+// reference path would have acted on. ok = false means no sound bound
+// exists and the caller must single-step.
+//
+// Single-class streams keep PR 3's head-of-line rule: the window pauses
+// once the queue head is admissible (from its arrival onward every
+// iteration boundary would admit it), while a capacity-blocked head waits
+// for a finish. Tiered streams bound on the earliest class-boundary event
+// instead, using the O(1) class counters and KV-demand totals. The interior
+// of a window is frozen — no admissions, evictions or finishes — so under
+// the byte ledger every admissibility verdict below is time-invariant
+// until the window ends: a blocked request stays blocked, an infeasible
+// preemption stays infeasible. Under block sharing that argument fails for
+// tiered streams (interior lease growth moves CommittedBlocks and
+// ParkGain, so a preemption trigger can arm mid-window) — that is the one
+// ok = false regime.
+//
+//papivet:noalloc
+func (s *Stepper) macroArrivalBound() (units.Seconds, bool) {
+	inf := units.Seconds(math.Inf(1))
+	// Static batches never admit; streams with an empty queue have nothing
+	// to admit before the horizon (Push is fenced by SetHorizon).
+	if s.static || len(s.pending) == 0 {
+		return inf, true
+	}
+	if !s.tiered() {
+		head := s.pending[0]
+		if len(s.active) < s.maxBatch && s.kvFits(head) {
+			return head.readyAt, true
+		}
+		return inf, true
+	}
+	if s.kvShare {
+		return 0, false
+	}
+	// Tiered, byte ledger. With the batch full, neither admission phase nor
+	// preemption (which only runs while placing an interactive into a free
+	// slot) can act before a finish.
+	if len(s.active) >= s.maxBatch {
+		return inf, true
+	}
+	// An admissible batch head bounds the window at its arrival (which may
+	// already have passed — admit's prefill can advance the clock over it;
+	// the window then closes after one iteration and the next Step admits
+	// it, or discovers a blocked interactive barring it). A KV-blocked
+	// batch head admits nothing — phase-two admission is literal-head-only,
+	// and the head cannot change inside a window — but an interactive
+	// behind it still can, so keep looking.
+	if head := s.pending[0]; head.Class == workload.ClassBatch && s.kvFits(head) {
+		return head.readyAt, true
+	}
+	// The earliest pending interactive decides the rest: the queue is
+	// readyAt-ordered and phase-one admission is FIFO within the tier, so
+	// if this one cannot be placed — even by preempting every active batch
+	// request — it blocks its whole class and bars batch admission from its
+	// arrival until a finish. If it can be placed, its arrival is the
+	// boundary.
+	if s.pendInteractive > 0 {
+		if i := s.firstInteractive(); i < len(s.pending) {
+			r := s.pending[i]
+			if s.kvFits(r) || s.preemptFeasible(r) {
+				return r.readyAt, true
+			}
+			return inf, true
+		}
+	}
+	return inf, true
+}
+
+// preemptFeasible reports whether evicting every active batch-class request
+// would make byte-ledger KV room for cand — preemptFor's all-or-nothing
+// feasibility test, split out so the macro window bound can ask it without
+// evicting. Callers in the block-sharing regime must use preemptFor itself.
+//
+//papivet:noalloc
+func (s *Stepper) preemptFeasible(cand *request) bool {
+	var evictable units.Bytes
+	for _, r := range s.active {
+		if r.Class == workload.ClassBatch {
+			evictable += r.kvBytes
+		}
+	}
+	return s.kvDemandActive-evictable+cand.kvBytes <= s.eng.Sys.KVCapacity()
+}
+
 // macroStep is the fast path's TLP = 1 macro-stepping: it fast-forwards a
-// run of identical-RLP iterations inside one Step call. With one
-// deterministic token committed per request per iteration, nothing the
-// scheduler or the admission logic observes can change before the earliest
-// finish, the next admissible arrival, or the caller's horizon — so the
-// window's interior needs no per-request commit walk, only the
-// closed-form-per-iteration pricing (the attention term grows linearly in
-// ΣkvLen, an arithmetic series walked with the exact float operations of the
-// reference path so every trace entry, energy charge and clock value stays
-// bit-identical to K single Steps). Per-request bookkeeping is applied once,
-// in bulk, at the window's end.
-func (s *Stepper) macroStep() (StepInfo, error) {
+// run of identical-RLP iterations inside one Step call, bounded by the
+// earliest finish, the caller-computed admission bound (macroArrivalBound),
+// and the horizon. With one deterministic token committed per request per
+// iteration, nothing the scheduler or the admission logic observes can
+// change inside the window — so the window's interior needs no per-request
+// commit walk, only the closed-form-per-iteration pricing (the attention
+// term grows linearly in ΣkvLen, an arithmetic series walked with the exact
+// float operations of the reference path so every trace entry, energy
+// charge and clock value stays bit-identical to K single Steps).
+// Per-request bookkeeping is applied once, in bulk, at the window's end.
+func (s *Stepper) macroStep(nextArrival units.Seconds) (StepInfo, error) {
 	rlp := len(s.active)
 	// Iterations until the earliest finish: the window's hard bound, so
 	// completions (and the StepInfo.Finished hook) land on their exact
@@ -859,20 +989,6 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 	for _, r := range s.active {
 		if rem := r.OutputLen - r.generated; rem < k {
 			k = rem
-		}
-	}
-	// The window pauses once the head-of-line pending request is admissible:
-	// from its arrival onward (which may already have passed — e.g. it
-	// arrived during another request's prefill), every iteration boundary
-	// admits it, so the window cannot fast-forward past one. A
-	// capacity-blocked head is different: batch slots and KV headroom only
-	// free at a finish, which already ends the window, so it need not bound
-	// the interior at all.
-	nextArrival := units.Seconds(math.Inf(1))
-	if !s.static && len(s.pending) > 0 {
-		head := s.pending[0]
-		if len(s.active) < s.maxBatch && s.kvFits(head) {
-			nextArrival = head.readyAt
 		}
 	}
 
@@ -960,6 +1076,94 @@ func (s *Stepper) macroStep() (StepInfo, error) {
 			}
 		}
 	}
+	if err := s.scheduler.ObserveEOS(eos); err != nil {
+		return StepInfo{}, err
+	}
+	info.Completed = eos
+	if eos > 0 {
+		s.active = live(s.active)
+	}
+	return info, nil
+}
+
+// macroStepSpec is macroStep's speculative-decoding (TLP > 1) counterpart:
+// it fast-forwards a run of identical-RLP iterations inside one Step call,
+// bounded by the first finish, the caller-computed admission bound
+// (macroArrivalBound), and the horizon. Unlike TLP = 1, commits are
+// stochastic — each iteration draws per-request acceptance samples from the
+// engine's RNG — so the interior cannot be bulk-committed: the reference
+// path's commit walk runs every iteration, in active order, replaying the
+// exact draw sequence. What the window saves is everything around it: one
+// Decide plus a bulk Repeat instead of per-iteration scheduling (RLP and
+// TLP are frozen, so every interior Decide would reach the same placement),
+// no per-iteration admission scan, and — decisively for the cluster driver
+// — one event-kernel step per window instead of per iteration. A finish
+// ends the window immediately because the iterations after it would run at
+// a smaller RLP.
+func (s *Stepper) macroStepSpec(nextArrival units.Seconds) (StepInfo, error) {
+	rlp := len(s.active)
+	ev := s.scheduler.Decide()
+	run := 0
+	info := StepInfo{Kind: StepIteration}
+	eos := 0
+	for {
+		it := s.eng.runIterationFast(rlp, s.kvSum, ev, &s.res)
+		s.res.Iterations++
+		if len(s.res.RLPTrace) < traceCap {
+			s.res.RLPTrace = append(s.res.RLPTrace, rlp)
+		}
+		if s.static {
+			// Recompute rather than accumulate so the clock matches the
+			// summed phase times bit-for-bit.
+			s.clock = s.res.PrefillTime + s.res.DecodeTime
+		} else {
+			s.clock += it.Time
+		}
+		run++
+
+		// The reference path's per-iteration commit walk, verbatim: the RNG
+		// draw order (active order, one burst per request) is part of the
+		// bit-identical contract.
+		for _, r := range s.active {
+			committed := s.eng.commitTokens(r)
+			s.res.Tokens += committed
+			it.Tokens += committed
+			s.kvSum += committed
+			if s.kvStore != nil {
+				if err := s.kvStore.Extend(r.lease, r.contextLen()); err != nil {
+					return StepInfo{}, err
+				}
+			}
+			epoch := units.Seconds(0)
+			if !s.static {
+				epoch = r.Arrival
+			}
+			s.tracker.observe(r, committed, s.clock, epoch)
+			if r.done {
+				eos++
+				info.Finished = append(info.Finished, r.Request)
+				s.kvSum -= r.InputLen + r.generated
+				s.kvDemandAll -= r.kvBytes
+				s.kvDemandActive -= r.kvBytes
+				s.countClass(r.Class, &s.actInteractive, &s.actBatch, -1)
+				if s.kvStore != nil {
+					s.kvStore.Commit(r.lease)
+				}
+			}
+		}
+		if len(s.res.IterStats) < traceCap {
+			s.res.IterStats = append(s.res.IterStats, it)
+		}
+		info.Iteration = it
+		if eos > 0 || nextArrival <= s.clock || s.clock >= s.horizon {
+			break
+		}
+		ev.Iteration++
+	}
+	s.scheduler.Repeat(run - 1)
+	// Interior iterations had no completions, so their reference-path
+	// ObserveEOS(0) calls were no-ops; one call at the window's end is
+	// equivalent.
 	if err := s.scheduler.ObserveEOS(eos); err != nil {
 		return StepInfo{}, err
 	}

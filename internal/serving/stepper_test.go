@@ -82,7 +82,11 @@ func TestBatchStepperMatchesRunBatch(t *testing.T) {
 		t.Fatalf("stepper diverged from RunBatch:\n got %v/%d tokens/%d iters\nwant %v/%d tokens/%d iters",
 			got.DecodeTime, got.Tokens, got.Iterations, want.DecodeTime, want.Tokens, want.Iterations)
 	}
-	if steps != want.Iterations {
+	// Macro-stepping may cover many iterations per Step (a TLP = 4 batch
+	// finishes requests in bursts, ending each window), but never more
+	// steps than iterations — and a whole batch never drains in one window,
+	// since every finish closes it.
+	if steps > want.Iterations || steps < 2 {
 		t.Fatalf("stepper took %d steps for %d iterations", steps, want.Iterations)
 	}
 	if got.Energy.Total() != want.Energy.Total() {

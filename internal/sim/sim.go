@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/papi-sim/papi/internal/units"
@@ -18,37 +17,69 @@ import (
 type Event func(now units.Seconds)
 
 type item struct {
-	at    units.Seconds
-	seq   uint64 // tie-breaker: FIFO among equal timestamps
-	fn    Event
-	index int
+	at  units.Seconds
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  Event
 }
 
-type eventHeap []*item
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq), stored by
+// value. The kernel used to route through container/heap, whose interface
+// dispatch and per-event pointer allocation sat on the fleet-scale hot path
+// (one push and one pop per replica step); inlining the sifts on the
+// concrete slice removes both. (at, seq) is a strict total order — seq is
+// unique — so the pop sequence, and therefore every simulation, is
+// identical whatever the heap's internal arrangement.
+type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
+
+func (h eventHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *eventHeap) push(it item) {
 	*h = append(*h, it)
+	h.siftUp(len(*h) - 1)
 }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) pop() item {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	it := old[0]
+	old[0] = old[n]
+	old[n] = item{} // release the callback reference
+	*h = old[:n]
+	h.siftDown(0)
 	return it
 }
 
@@ -92,7 +123,7 @@ func (e *Engine) At(t units.Seconds, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &item{at: t, seq: e.seq, fn: fn})
+	e.events.push(item{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current instant.
@@ -109,7 +140,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.events).(*item)
+	it := e.events.pop()
 	e.now = it.at
 	e.fired++
 	it.fn(e.now)

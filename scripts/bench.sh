@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 # it into minutes of identical repeats. Both outputs feed one snapshot.
 {
     go test -run '^$' \
-        -bench 'BenchmarkCapacitySweep|BenchmarkScenarios|BenchmarkServingIteration|BenchmarkKVBlockStore|BenchmarkResilience' \
+        -bench 'BenchmarkCapacitySweep|BenchmarkScenarios|BenchmarkServingIteration|BenchmarkKVBlockStore|BenchmarkResilience|BenchmarkTieredMacroStep' \
         -benchmem -benchtime "${BENCHTIME:-50x}" "$@" .
     go test -run '^$' -bench 'BenchmarkMillionRequest' -benchmem -benchtime 1x "$@" .
 } \
